@@ -1,0 +1,28 @@
+# Convenience targets for the EtaGraph reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-full reproduce examples clean-cache
+
+install:
+	$(PYTHON) -m pip install -e .[test]
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-full:
+	REPRO_BENCH_FULL=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+# Regenerate every table and figure and save machine-readable reports.
+reproduce:
+	$(PYTHON) -m repro.bench all --json-dir reports/
+
+examples:
+	for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f || exit 1; done
+
+# Drop the surrogate dataset cache (~/.cache/repro or $$REPRO_DATA_DIR).
+clean-cache:
+	rm -rf $${REPRO_DATA_DIR:-$$HOME/.cache/repro}

@@ -1,0 +1,55 @@
+"""Ablation bench (beyond the paper's figures): all four memory modes.
+
+DESIGN.md calls out the memory-placement decision as the central design
+choice of Section IV; this bench sweeps UM+prefetch / UM on-demand /
+device / zero-copy on one social graph and asserts the ordering the paper
+argues for: UM+prefetch fastest on full traversals, zero-copy slowest.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.api import EtaGraph
+from repro.core.config import EtaGraphConfig, MemoryMode
+from repro.graph import datasets
+
+MODES = [
+    MemoryMode.UM_PREFETCH,
+    MemoryMode.UM_ON_DEMAND,
+    MemoryMode.DEVICE,
+    MemoryMode.ZERO_COPY,
+]
+
+
+@pytest.fixture(scope="module")
+def workload(ctx):
+    return ctx.load("com-orkut", True)
+
+
+def run_modes(graph, source, device):
+    out = {}
+    for mode in MODES:
+        cfg = EtaGraphConfig(memory_mode=mode)
+        out[mode] = EtaGraph(graph, cfg, device).sssp(source)
+    return out
+
+
+def test_memory_mode_ordering(benchmark, ctx, workload):
+    graph, source = workload
+    results = benchmark.pedantic(
+        run_modes, args=(graph, source, ctx.device), rounds=1, iterations=1
+    )
+
+    labels = results[MemoryMode.UM_PREFETCH].labels
+    for mode, r in results.items():
+        assert np.allclose(r.labels, labels), mode
+
+    totals = {m: r.total_ms for m, r in results.items()}
+    print()
+    for mode, t in sorted(totals.items(), key=lambda kv: kv[1]):
+        print(f"  {mode.value:<13} {t:8.3f} ms")
+
+    # Section IV-B's argument, as an ordering: prefetch beats on-demand on
+    # a full traversal, and zero-copy loses to every migrating mode.
+    assert totals[MemoryMode.UM_PREFETCH] < totals[MemoryMode.UM_ON_DEMAND]
+    assert totals[MemoryMode.ZERO_COPY] == max(totals.values())

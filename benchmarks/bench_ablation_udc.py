@@ -1,0 +1,66 @@
+"""Ablation bench (beyond the paper's figures): UDC placement and K.
+
+Two DESIGN.md-listed design choices:
+
+* in-core (the paper's on-the-fly transform) vs out-of-core (precomputed
+  shadow table) — time is comparable, but out-of-core pays a device-
+  resident table, which is the space argument of Section III-A;
+* the degree limit K — sweeps the balance/occupancy trade-off.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.api import EtaGraph
+from repro.core.config import EtaGraphConfig
+from repro.core.udc import ShadowTable
+
+
+@pytest.fixture(scope="module")
+def workload(ctx):
+    return ctx.load("livejournal", False)
+
+
+def test_udc_placement(benchmark, ctx, workload):
+    graph, source = workload
+
+    def run_both():
+        ic = EtaGraph(graph, EtaGraphConfig(), ctx.device).bfs(source)
+        ooc = EtaGraph(
+            graph, EtaGraphConfig(udc_mode="out_of_core"), ctx.device
+        ).bfs(source)
+        return ic, ooc
+
+    ic, ooc = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    assert np.array_equal(ic.labels, ooc.labels)
+
+    # The space trade: the table costs 3|N| + 2|V| device words that
+    # in-core never allocates.
+    table = ShadowTable(graph.row_offsets, 32)
+    assert ooc.device_bytes - ic.device_bytes >= 4 * table.table_words() * 0.9
+    # And it cannot be more than modestly faster — the transform kernel it
+    # removes is a small fraction of each iteration.
+    assert ooc.total_ms < 1.5 * ic.total_ms
+    print(f"\n  in-core {ic.total_ms:.3f} ms, out-of-core {ooc.total_ms:.3f} ms, "
+          f"table {4 * table.table_words() / 2**20:.2f} MiB")
+
+
+def test_degree_limit_sweep(benchmark, ctx, workload):
+    graph, source = workload
+
+    def sweep():
+        return {
+            k: EtaGraph(graph, EtaGraphConfig(degree_limit=k),
+                        ctx.device).bfs(source).total_ms
+            for k in (4, 16, 32, 128, 512)
+        }
+
+    totals = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    for k, t in totals.items():
+        print(f"  K={k:<4} {t:8.3f} ms")
+    # Extreme K values lose to the mid-range: tiny K explodes the shadow
+    # count, huge K forfeits balance and SMP occupancy.
+    mid = min(totals[16], totals[32])
+    assert mid <= totals[4]
+    assert mid <= totals[512]

@@ -1,0 +1,28 @@
+"""Benchmark: regenerate Fig. 2 (active vertices per iteration)."""
+
+import numpy as np
+
+from conftest import run_experiment
+
+from repro.bench.experiments import exp_fig2
+
+
+def test_fig2_activation_curve(benchmark, quick, ctx):
+    report = run_experiment(benchmark, exp_fig2.run, quick, ctx)
+
+    for ds, series in report.data.items():
+        active = np.array(series["active"])
+        cum = np.array(series["cumulative"])
+        peak = series["peak_iteration"]
+
+        # Growth-then-decay: the peak is interior, the first iteration
+        # starts from a single source, the tail is small.
+        assert active[0] == 1
+        assert 0 < peak < len(active) - 1
+        assert active[peak] > 100 * active[0]
+        assert active[-1] < 0.05 * active[peak]
+
+        # Cumulative distribution: low early, ~1 at the end, monotone.
+        assert cum[0] < 0.01
+        assert cum[-1] == 1.0
+        assert np.all(np.diff(cum) >= 0)

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Fig. 3 (the UDC worked example)."""
+
+from conftest import run_experiment
+
+from repro.bench.experiments import exp_fig3
+
+
+def test_fig3_udc_example(benchmark, quick, ctx):
+    report = run_experiment(benchmark, exp_fig3.run, quick, ctx)
+    # The paper's exact outcome: vertex 1 -> two shadows (4 + 1 edges),
+    # vertex 2 filtered out, vertex 4 one shadow of degree 2.
+    assert report.data["ids"] == [1, 1, 4]
+    assert report.data["degrees"] == [4, 1, 2]

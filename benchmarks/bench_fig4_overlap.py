@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Fig. 4 (transfer/compute overlap, w/o UMP SSSP)."""
+
+from conftest import run_experiment
+
+from repro.bench.experiments import exp_fig4
+
+
+def test_fig4_overlap(benchmark, quick, ctx):
+    report = run_experiment(benchmark, exp_fig4.run, quick, ctx)
+
+    for ds, row in report.data.items():
+        # Transfer and compute proceed concurrently for a large share of
+        # the run (paper: 60-80%).
+        assert 0.4 < row["overlap_fraction"] <= 0.95, (ds, row)
+        # Transfer finishes by the end of the run (and typically earlier —
+        # the paper's "first 60-80% of the time").
+        assert row["transfer_done_fraction"] <= 1.0
+
+    if not quick and "uk-2005" in report.data:
+        # uk-2005's transfer arrives in waves: pages only migrate when
+        # their region first activates, across ~200 iterations.
+        series = report.data["uk-2005"]["transfer_series"]
+        assert len(series) > 50

@@ -1,0 +1,27 @@
+"""Benchmark: regenerate Fig. 5 (visited vertices over time)."""
+
+from conftest import run_experiment
+
+from repro.bench.experiments import exp_fig5
+
+
+def test_fig5_visited_growth(benchmark, quick, ctx):
+    report = run_experiment(benchmark, exp_fig5.run, quick, ctx)
+
+    for ds, row in report.data.items():
+        series = row["series"]
+        assert series, ds
+        # Visited count and time are both monotone.
+        times = [p[0] for p in series]
+        visited = [p[1] for p in series]
+        assert times == sorted(times)
+        assert visited == sorted(visited)
+        if ds == "slashdot":
+            # The paper's stated exception: too few iterations to be linear.
+            continue
+        # Near-linear growth (the paper's consistency claim).  The deep
+        # web graphs have enough iterations for a tight fit; the social
+        # surrogates converge in ~5 levels at 1/256 scale, so their
+        # S-curve fits looser.
+        threshold = 0.9 if len(series) > 20 else 0.6
+        assert row["r_squared"] > threshold, (ds, row["r_squared"])

@@ -1,0 +1,28 @@
+"""Benchmark: regenerate Fig. 6 (ablation of SMP and UM)."""
+
+from conftest import run_experiment
+
+from repro.bench.experiments import exp_fig6
+
+
+def test_fig6_ablation(benchmark, quick, ctx):
+    report = run_experiment(benchmark, exp_fig6.run, quick, ctx)
+    data = report.data
+
+    for ds, row in data.items():
+        if ds == "uk-2006":
+            continue
+        # SMP helps on every kernel-dominated dataset (paper: 1.11-2.14x).
+        assert row["w/o SMP"] is not None
+        assert 1.0 < row["w/o SMP"] < 2.5, (ds, row)
+        # UM helps too (paper: 1.02-1.26x), with generous tolerance.
+        if row["w/o UM"] is not None:
+            assert 0.9 < row["w/o UM"] < 1.6, (ds, row)
+
+    if not quick and "uk-2006" in data:
+        # The topology exceeds device capacity: impossible without UM.
+        assert data["uk-2006"]["w/o UM"] is None
+        # And transfer dominance makes SMP irrelevant there (paper:
+        # "almost identical for uk-2006").
+        assert data["uk-2006"]["w/o SMP"] is not None
+        assert data["uk-2006"]["w/o SMP"] < 1.2

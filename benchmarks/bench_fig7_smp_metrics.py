@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Fig. 7 (SMP microarchitecture metrics)."""
+
+from conftest import run_experiment
+
+from repro.bench.experiments import exp_fig7
+
+
+def test_fig7_smp_metrics(benchmark, quick, ctx):
+    report = run_experiment(benchmark, exp_fig7.run, quick, ctx)
+    norm = report.data["normalized"]
+
+    # The two headline effects, with the paper's direction and rough size:
+    # fewer global transactions (paper 0.48x)...
+    assert 0.3 < norm["global_read_transactions"] < 0.8
+    # ...and higher IPC (paper 1.42x).
+    assert 1.2 < norm["ipc"] < 2.5
+
+    # Hit rates move up or hold (paper 1.02x / 1.19x).
+    assert norm["unified_hit_rate"] >= 1.0
+    assert norm["l2_hit_rate"] >= 1.0
+
+    # Read throughput improves at L2 and the unified cache (paper ~2.2x).
+    assert norm["l2_read_throughput"] > 1.0
+    assert norm["unified_read_throughput"] > 1.0

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Table I (space overhead of graph layouts)."""
+
+from conftest import run_experiment
+
+from repro.bench.experiments import exp_table1
+
+
+def test_table1_space_overhead(benchmark, quick, ctx):
+    report = run_experiment(benchmark, exp_table1.run, quick, ctx)
+    normalized = report.data["normalized"]
+    # Paper: G-Shard/EdgeList 1.87x, VST 1.32x, CSR 1.00x.
+    assert normalized["CSR"] == 1.0
+    assert 1.7 < normalized["G-Shard"] < 2.0
+    assert 1.7 < normalized["Edge List"] < 2.0
+    assert 1.1 < normalized["VST"] < 1.5
+    # CSR must be the most space-efficient layout.
+    assert all(v >= 1.0 for v in normalized.values())

@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Table II (dataset statistics)."""
+
+from conftest import run_experiment
+
+from repro.bench.experiments import exp_table2
+from repro.graph import datasets
+
+
+def test_table2_dataset_stats(benchmark, quick, ctx):
+    report = run_experiment(benchmark, exp_table2.run, quick, ctx)
+    summaries = report.data["summaries"]
+    for name, summary in summaries.items():
+        spec = datasets.get_spec(name)
+        # Average degree must match the paper's column within 20%.
+        assert abs(summary.average_degree - spec.paper.average_degree) \
+            < 0.2 * spec.paper.average_degree
+        # Scaled |V| should be paper |V| / 256 (Slashdot kept full-scale).
+        scale = 1 if name == "slashdot" else datasets.SCALE
+        assert summary.num_vertices >= spec.paper.num_vertices // scale * 0.9
+    if "uk-2005" in summaries:
+        # Web crawls: strongly-connected core around the paper's 65-71%.
+        assert 0.5 < summaries["uk-2005"].lcc_fraction < 0.8

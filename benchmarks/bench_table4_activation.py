@@ -1,0 +1,29 @@
+"""Benchmark: regenerate Table IV (activation % and iteration counts)."""
+
+from conftest import run_experiment
+
+from repro.bench.experiments import exp_table4
+
+
+def test_table4_activation(benchmark, quick, ctx):
+    report = run_experiment(benchmark, exp_table4.run, quick, ctx)
+    data = report.data
+
+    # Social graphs: most vertices activate (paper: 91-100%).
+    for ds in ("slashdot", "livejournal", "com-orkut"):
+        assert data[ds]["act_percent"] > 70
+
+    # Iteration counts in the paper's ballpark for the small graphs.
+    for ds in ("slashdot", "livejournal", "com-orkut"):
+        assert 4 <= data[ds]["iterations"] <= 25
+
+    if quick:
+        return
+
+    # uk-2005's ~200-iteration depth and uk-2006's ~1e-4 activation are
+    # the defining Table IV features.
+    assert 150 <= data["uk-2005"]["iterations"] <= 250
+    assert 30 <= data["sk-2005"]["iterations"] <= 90
+    assert data["uk-2006"]["act_percent"] < 0.1
+    assert data["uk-2006"]["iterations"] <= 6
+    assert data["rmat25"]["act_percent"] > 60

@@ -1,0 +1,46 @@
+"""Shared fixtures for the benchmark suite.
+
+Each benchmark wraps one experiment module from
+``repro.bench.experiments``; the experiments are deterministic
+simulations, so a single round is meaningful — ``benchmark.pedantic``
+with one round keeps full-grid runs tractable while still reporting
+timing through pytest-benchmark.
+
+Set ``REPRO_BENCH_FULL=1`` to sweep every dataset (several minutes,
+generates the large surrogates on first run); the default quick mode
+covers the three small graphs.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench.runner import BenchContext
+
+
+def _full() -> bool:
+    return os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+
+@pytest.fixture(scope="session")
+def quick() -> bool:
+    return not _full()
+
+
+@pytest.fixture(scope="session")
+def ctx() -> BenchContext:
+    """One dataset cache shared across all benchmarks in the session."""
+    return BenchContext()
+
+
+def run_experiment(benchmark, run_fn, quick, ctx):
+    """Execute an experiment once under pytest-benchmark and echo its
+    report so ``pytest benchmarks/ --benchmark-only -s`` shows the tables."""
+    report = benchmark.pedantic(
+        run_fn, kwargs={"quick": quick, "ctx": ctx}, rounds=1, iterations=1
+    )
+    print()
+    print(report.text)
+    return report

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""The paper's three mechanisms, demonstrated one at a time.
+
+EtaGraph = UDC + frontier-over-UM + SMP.  This walkthrough isolates each
+mechanism on one skewed graph and prints the quantity it improves:
+
+1. **UDC** — warp efficiency: useful lane-cycles / issued lane-cycles
+   with and without the degree cut;
+2. **SMP** — global load transactions and IPC with and without prefetch;
+3. **UM**  — total time across the four memory placements.
+
+Run: ``python examples/paper_walkthrough.py``
+"""
+
+import numpy as np
+
+from repro import EtaGraph, EtaGraphConfig, MemoryMode
+from repro.core.udc import degree_cut
+from repro.gpu.warp import warp_efficiency
+from repro.graph import generators
+from repro.utils.charts import bar_chart
+
+
+def main() -> None:
+    graph = generators.social_network(25_000, 400_000, seed=33)
+    source = int(np.argmax(graph.out_degrees()))
+    deg = graph.out_degrees()
+    print(f"graph: {graph}")
+    print(f"degree skew: mean {deg.mean():.1f}, p99 "
+          f"{np.percentile(deg, 99):.0f}, max {deg.max()}\n")
+
+    # --- 1. Unified Degree Cut ------------------------------------------
+    print("1) UDC: bounded shadow vertices fix warp lockstep imbalance")
+    active = np.flatnonzero(deg > 0)
+    raw_eff = warp_efficiency(deg[active].astype(float))
+    for k in (8, 32, 128):
+        shadows = degree_cut(active, graph.row_offsets, k)
+        eff = warp_efficiency(shadows.degrees.astype(float))
+        print(f"   K={k:<4} {len(shadows):>7} shadows, "
+              f"warp efficiency {eff:.2f} (raw vertices: {raw_eff:.2f})")
+
+    # --- 2. Shared Memory Prefetch --------------------------------------
+    print("\n2) SMP: unrolled bursts halve global transactions")
+    with_smp = EtaGraph(graph).bfs(source)
+    without = EtaGraph(graph, EtaGraphConfig(smp=False)).bfs(source)
+    a, b = with_smp.profiler.kernels, without.profiler.kernels
+    print(f"   transactions: {b.global_load_transactions:>9,} -> "
+          f"{a.global_load_transactions:,} "
+          f"({a.global_load_transactions / b.global_load_transactions:.2f}x)")
+    print(f"   IPC:          {b.ipc:9.2f} -> {a.ipc:.2f} "
+          f"({a.ipc / b.ipc:.2f}x)")
+    print(f"   kernel time:  {without.kernel_ms:9.3f} -> "
+          f"{with_smp.kernel_ms:.3f} ms")
+
+    # --- 3. Memory placement --------------------------------------------
+    print("\n3) UM: placement vs total (transfer + kernel) time")
+    totals = {}
+    for mode in MemoryMode:
+        cfg = EtaGraphConfig(memory_mode=mode)
+        totals[mode.value] = EtaGraph(graph, cfg).bfs(source).total_ms
+    print(bar_chart(
+        list(totals.values()),
+        labels=list(totals.keys()),
+        width=36,
+    ))
+    print("\n(um_prefetch is EtaGraph; um_on_demand is 'w/o UMP'; device "
+          "is 'w/o UM'; zero_copy is Section IV-B's rejected alternative)")
+
+
+if __name__ == "__main__":
+    main()

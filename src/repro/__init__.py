@@ -1,0 +1,34 @@
+"""repro — a reproduction of "Excavating the Potential of GPU for
+Accelerating Graph Traversal" (EtaGraph, IPDPS 2019).
+
+Public surface:
+
+* :class:`repro.EtaGraph` / :func:`repro.bfs` / :func:`repro.sssp` /
+  :func:`repro.sswp` — the paper's framework on the simulated GPU,
+* :mod:`repro.graph` — CSR & friends, generators, datasets,
+* :mod:`repro.gpu` — the GPU execution-model simulator,
+* :mod:`repro.baselines` — CuSha / Gunrock / Tigr analogues,
+* :mod:`repro.bench` — the table/figure reproduction harness.
+"""
+
+from repro.core.api import EtaGraph, bfs, sssp, sswp
+from repro.core.config import EtaGraphConfig, MemoryMode
+from repro.core.engine import TraversalResult
+from repro.graph.csr import CSRGraph
+from repro.gpu.device import DeviceSpec, GTX_1080TI
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "EtaGraph",
+    "bfs",
+    "sssp",
+    "sswp",
+    "EtaGraphConfig",
+    "MemoryMode",
+    "TraversalResult",
+    "CSRGraph",
+    "DeviceSpec",
+    "GTX_1080TI",
+    "__version__",
+]

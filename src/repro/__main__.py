@@ -1,0 +1,142 @@
+"""Command-line traversal runner.
+
+Usage::
+
+    python -m repro GRAPH --algorithm bfs --source 0
+    python -m repro GRAPH -a sssp -s 0 --no-smp --memory um_on_demand
+    python -m repro --dataset livejournal -a sswp
+
+Loads a graph (edge list / Galois binary / MatrixMarket / npz, or one of
+the built-in surrogate datasets), runs the requested traversal through
+EtaGraph on the simulated GPU, validates the result against the
+fixed-point checker, and prints labels summary plus the simulated
+performance record.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.algorithms.validate import validate_labels
+from repro.core.api import EtaGraph
+from repro.core.config import EtaGraphConfig, MemoryMode
+from repro.gpu.device import GTX_1080TI
+from repro.graph import datasets, io
+from repro.graph.weights import attach_weights
+from repro.utils.units import format_bytes, format_ms, parse_size
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run a graph traversal through EtaGraph "
+                    "(simulated GPU).",
+    )
+    parser.add_argument("graph", nargs="?",
+                        help="graph file (.txt/.gr/.mtx/.npz)")
+    parser.add_argument("--dataset", choices=datasets.ALL_DATASETS,
+                        help="use a built-in surrogate dataset instead")
+    parser.add_argument("-a", "--algorithm", default="bfs",
+                        choices=("bfs", "sssp", "sswp"))
+    parser.add_argument("-s", "--source", type=int, default=None,
+                        help="source vertex (default: highest out-degree)")
+    parser.add_argument("-k", "--degree-limit", type=int, default=32,
+                        help="UDC degree limit K (default 32)")
+    parser.add_argument("--no-smp", action="store_true",
+                        help="disable Shared Memory Prefetch")
+    parser.add_argument("--memory", default="um_prefetch",
+                        choices=[m.value for m in MemoryMode])
+    parser.add_argument("--capacity", default=None,
+                        help="device memory capacity (e.g. '44MB')")
+    parser.add_argument("--weights", default="uniform",
+                        choices=("uniform", "degree", "unit"),
+                        help="synthesized weight kind for weighted runs")
+    parser.add_argument("--validate", action="store_true",
+                        help="check the labels against the fixed-point "
+                             "validator before reporting")
+    parser.add_argument("--framework", default="etagraph",
+                        help="engine to run: etagraph (default) or a "
+                             "baseline (cusha, gunrock, tigr, simple-vc, "
+                             "gts, cpu-ligra)")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if (args.graph is None) == (args.dataset is None):
+        print("provide exactly one of GRAPH or --dataset", file=sys.stderr)
+        return 2
+
+    weighted = args.algorithm in ("sssp", "sswp")
+    if args.dataset:
+        graph, default_source = datasets.load(args.dataset, weighted=weighted)
+    else:
+        graph = io.load_any(args.graph, weighted=False)
+        if weighted and graph.edge_weights is None:
+            graph = attach_weights(graph, kind=args.weights)
+        default_source = int(np.argmax(graph.out_degrees()))
+    source = args.source if args.source is not None else default_source
+
+    device = GTX_1080TI
+    if args.capacity:
+        device = device.with_capacity(parse_size(args.capacity))
+    config = EtaGraphConfig(
+        degree_limit=args.degree_limit,
+        smp=not args.no_smp,
+        memory_mode=MemoryMode(args.memory),
+    )
+
+    print(f"graph: {graph}")
+    print(f"framework: {args.framework}, algorithm: {args.algorithm}, "
+          f"source: {source}, K={args.degree_limit}, "
+          f"smp={'off' if args.no_smp else 'on'}, memory={args.memory}")
+
+    if args.framework == "etagraph":
+        result = EtaGraph(graph, config, device).run(args.algorithm, source)
+        labels = result.labels
+        kernel_ms, total_ms = result.kernel_ms, result.total_ms
+        iterations, visited = result.iterations, result.visited
+        profiler = result.profiler
+    else:
+        from repro.baselines import get_framework
+
+        fw = get_framework(args.framework, device)
+        r = fw.run(graph, args.algorithm, source)
+        labels = r.labels
+        kernel_ms, total_ms = r.kernel_ms, r.total_ms
+        iterations = r.iterations
+        visited = int(np.isfinite(labels).sum())
+        profiler = r.profiler
+        result = None
+
+    if args.validate:
+        report = validate_labels(graph, labels, source, args.algorithm)
+        if not report.ok:
+            print(f"VALIDATION FAILED: {report}", file=sys.stderr)
+            return 1
+        print("labels validated: fixed point confirmed")
+
+    finite = labels[np.isfinite(labels) & (labels != 0)]
+    print(f"\nvisited {visited}/{graph.num_vertices} vertices in "
+          f"{iterations} iterations")
+    if len(finite):
+        print(f"label range: [{finite.min():g}, {finite.max():g}], "
+              f"mean {finite.mean():.2f}")
+    print(f"simulated total: {format_ms(total_ms)} "
+          f"(kernels {format_ms(kernel_ms)})")
+    if result is not None:
+        print(f"device memory: {format_bytes(result.device_bytes)} device, "
+              f"{format_bytes(result.um_bytes)} unified"
+              + (" [oversubscribed]" if result.oversubscribed else ""))
+    counters = profiler.kernels
+    print(f"counters: {counters.launches} launches, IPC {counters.ipc:.2f}, "
+          f"L2 hit {counters.l2_hit_rate:.1%}, "
+          f"{counters.global_load_transactions:,} load transactions")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,25 @@
+"""Graph-traversal problem definitions (Section II-C).
+
+BFS, SSSP and SSWP are all label-propagation problems over a (min, +) /
+(max, min)-style semiring: active vertices push a candidate label along
+each out-edge; a vertex whose label improves becomes active in the next
+iteration.  :class:`~repro.algorithms.base.TraversalProblem` captures that
+interface once, so every engine (EtaGraph and all baselines) shares the
+same algorithm definitions and differs only in execution strategy.
+"""
+
+from repro.algorithms.base import TraversalProblem, get_problem, PROBLEMS
+from repro.algorithms.bfs import BFS
+from repro.algorithms.sssp import SSSP
+from repro.algorithms.sswp import SSWP
+from repro.algorithms import cpu_reference
+
+__all__ = [
+    "TraversalProblem",
+    "get_problem",
+    "PROBLEMS",
+    "BFS",
+    "SSSP",
+    "SSWP",
+    "cpu_reference",
+]

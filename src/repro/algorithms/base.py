@@ -1,0 +1,115 @@
+"""The traversal-problem interface shared by every engine.
+
+A problem is defined by four pieces (Definition 1 of the paper phrased as
+code): the initial label vector, the per-edge candidate computation, the
+improvement predicate, and the atomic reduction that merges concurrent
+updates (``atomicMin``/``atomicMax`` on real hardware, ``np.minimum.at`` /
+``np.maximum.at`` here — both are order-insensitive, which is what makes
+the GPU's nondeterministic scheduling safe).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.graph.csr import WEIGHT_DTYPE
+
+
+class TraversalProblem(ABC):
+    """One traversal algorithm expressed as label propagation."""
+
+    #: Short name used in benchmark tables ("bfs", "sssp", "sswp").
+    name: str = "?"
+    #: Whether edge weights must be present on the input graph.
+    needs_weights: bool = False
+    #: Extra ALU instructions per scanned edge in the kernel cost model
+    #: (weight handling costs a little more than BFS's +1).
+    instr_per_edge: float = 8.0
+
+    @abstractmethod
+    def initial_labels(self, num_vertices: int, source: int) -> np.ndarray:
+        """Label vector before iteration 0 (float32)."""
+
+    def initial_frontier(self, num_vertices: int, source: int) -> np.ndarray:
+        """Vertices active at iteration 0.
+
+        Single-source traversals (the default) start from ``source``;
+        all-active problems like connected components override this.
+        """
+        return np.array([source], dtype=np.int64)
+
+    @abstractmethod
+    def candidates(
+        self, src_labels: np.ndarray, edge_weights: np.ndarray | None
+    ) -> np.ndarray:
+        """Candidate label pushed along each edge, given the source label."""
+
+    @abstractmethod
+    def improves(self, candidate: np.ndarray, current: np.ndarray) -> np.ndarray:
+        """Boolean mask: would ``candidate`` update ``current``?"""
+
+    @abstractmethod
+    def scatter_reduce(
+        self, labels: np.ndarray, dst: np.ndarray, candidates: np.ndarray
+    ) -> None:
+        """Atomically merge candidates into ``labels`` at ``dst`` (in place)."""
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+
+    def check_graph(self, csr) -> None:
+        """Validate that the graph satisfies this problem's requirements."""
+        if self.needs_weights and csr.edge_weights is None:
+            raise ConfigError(f"{self.name} requires an edge-weighted graph")
+        if self.needs_weights and csr.num_edges:
+            w = csr.edge_weights
+            if not np.isfinite(w).all():
+                raise ConfigError(
+                    f"{self.name} requires finite edge weights "
+                    "(found NaN or infinity)"
+                )
+            if w.min() <= 0:
+                raise ConfigError(
+                    f"{self.name} requires strictly positive edge weights"
+                )
+
+    def reached_mask(self, labels: np.ndarray, source: int) -> np.ndarray:
+        """Vertices whose final label differs from the unreached initial."""
+        init = self.initial_labels(len(labels), source)
+        init_unreached = init[np.arange(len(labels)) != source]
+        if len(init_unreached) == 0:
+            return np.ones(len(labels), dtype=bool)
+        sentinel = init_unreached[0]
+        mask = labels != sentinel
+        mask[source] = True
+        return mask
+
+    @staticmethod
+    def _float_labels(num_vertices: int, fill: float) -> np.ndarray:
+        return np.full(num_vertices, fill, dtype=WEIGHT_DTYPE)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+#: Names of the three paper algorithms, in Table III order.
+PROBLEMS: tuple[str, ...] = ("bfs", "sssp", "sswp")
+
+
+def get_problem(name: str) -> TraversalProblem:
+    """Look up a problem instance by name ("bfs", "sssp", "sswp")."""
+    from repro.algorithms.bfs import BFS
+    from repro.algorithms.sssp import SSSP
+    from repro.algorithms.sswp import SSWP
+
+    registry = {"bfs": BFS, "sssp": SSSP, "sswp": SSWP}
+    try:
+        return registry[name.lower()]()
+    except KeyError:
+        raise ConfigError(
+            f"unknown traversal problem {name!r}; known: {sorted(registry)}"
+        ) from None

@@ -1,0 +1,42 @@
+"""Breadth-First Search as label propagation.
+
+Labels are BFS levels: the source gets 0, everything else +inf; an active
+vertex pushes ``level + 1`` along every out-edge; ``atomicMin`` merges.
+BFS vertices activate at most once (Section II-C): once a vertex has its
+level, no later candidate can be smaller.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.base import TraversalProblem
+
+UNREACHED = np.float32(np.inf)
+
+
+class BFS(TraversalProblem):
+    """Level-synchronous BFS over the (min, +1) propagation."""
+
+    name = "bfs"
+    needs_weights = False
+    instr_per_edge = 8.0
+
+    def initial_labels(self, num_vertices: int, source: int) -> np.ndarray:
+        labels = self._float_labels(num_vertices, UNREACHED)
+        labels[source] = 0.0
+        return labels
+
+    def candidates(
+        self, src_labels: np.ndarray, edge_weights: np.ndarray | None
+    ) -> np.ndarray:
+        # Weights, if present, are ignored: every edge costs one level.
+        return src_labels + np.float32(1.0)
+
+    def improves(self, candidate: np.ndarray, current: np.ndarray) -> np.ndarray:
+        return candidate < current
+
+    def scatter_reduce(
+        self, labels: np.ndarray, dst: np.ndarray, candidates: np.ndarray
+    ) -> None:
+        np.minimum.at(labels, dst, candidates)

@@ -1,0 +1,84 @@
+"""Serial CPU reference implementations — correctness oracles.
+
+Every engine in the repo (EtaGraph and the three baselines) is tested
+against these: BFS levels via level-synchronous expansion, SSSP via
+Dijkstra (scipy's heap implementation), SSWP via a Dijkstra-style
+widest-path search.  They favour obviousness over speed.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph, WEIGHT_DTYPE
+
+
+def bfs_levels(csr: CSRGraph, source: int) -> np.ndarray:
+    """BFS level of every vertex (inf if unreachable)."""
+    n = csr.num_vertices
+    levels = np.full(n, np.inf, dtype=WEIGHT_DTYPE)
+    levels[source] = 0.0
+    frontier = [source]
+    depth = 0
+    while frontier:
+        depth += 1
+        nxt = []
+        for v in frontier:
+            for u in csr.neighbors(v):
+                if levels[u] == np.inf:
+                    levels[u] = depth
+                    nxt.append(int(u))
+        frontier = nxt
+    return levels
+
+
+def sssp_distances(csr: CSRGraph, source: int) -> np.ndarray:
+    """Shortest-path distance of every vertex (inf if unreachable)."""
+    import scipy.sparse.csgraph as csgraph
+
+    dist = csgraph.dijkstra(
+        csr.to_scipy(), directed=True, indices=source
+    )
+    return dist.astype(WEIGHT_DTYPE)
+
+
+def sswp_widths(csr: CSRGraph, source: int) -> np.ndarray:
+    """Widest-path (maximum bottleneck) label of every vertex.
+
+    Dijkstra with the (max, min) semiring: repeatedly settle the vertex
+    with the widest known path; 0 marks unreachable, inf the source.
+    """
+    if csr.edge_weights is None:
+        raise ValueError("SSWP reference needs edge weights")
+    n = csr.num_vertices
+    width = np.zeros(n, dtype=np.float64)
+    width[source] = np.inf
+    settled = np.zeros(n, dtype=bool)
+    heap = [(-np.inf, source)]
+    while heap:
+        neg_w, v = heapq.heappop(heap)
+        if settled[v]:
+            continue
+        settled[v] = True
+        w_v = -neg_w
+        nbrs = csr.neighbors(v)
+        wts = csr.neighbor_weights(v)
+        for u, ew in zip(nbrs, wts):
+            cand = min(w_v, float(ew))
+            if cand > width[u]:
+                width[u] = cand
+                heapq.heappush(heap, (-cand, int(u)))
+    return width.astype(WEIGHT_DTYPE)
+
+
+def reference_labels(csr: CSRGraph, source: int, problem_name: str) -> np.ndarray:
+    """Dispatch helper used by the test suite."""
+    if problem_name == "bfs":
+        return bfs_levels(csr, source)
+    if problem_name == "sssp":
+        return sssp_distances(csr, source)
+    if problem_name == "sswp":
+        return sswp_widths(csr, source)
+    raise ValueError(f"unknown problem {problem_name!r}")

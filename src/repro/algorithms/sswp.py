@@ -1,0 +1,43 @@
+"""Single-Source Widest Path as label propagation.
+
+The label is the best bottleneck capacity from the source: the source
+gets +inf, everything else 0; along an edge of weight ``w`` the candidate
+is ``min(label, w)``; ``atomicMax`` merges (the (max, min) semiring).
+Like SSSP, vertices can activate repeatedly on non-uniform weights.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.base import TraversalProblem
+
+UNREACHED = np.float32(0.0)
+
+
+class SSWP(TraversalProblem):
+    """Widest path over the (max, min) semiring."""
+
+    name = "sswp"
+    needs_weights = True
+    instr_per_edge = 10.0
+
+    def initial_labels(self, num_vertices: int, source: int) -> np.ndarray:
+        labels = self._float_labels(num_vertices, UNREACHED)
+        labels[source] = np.inf
+        return labels
+
+    def candidates(
+        self, src_labels: np.ndarray, edge_weights: np.ndarray | None
+    ) -> np.ndarray:
+        if edge_weights is None:
+            raise ValueError("SSWP candidates need edge weights")
+        return np.minimum(src_labels, edge_weights)
+
+    def improves(self, candidate: np.ndarray, current: np.ndarray) -> np.ndarray:
+        return candidate > current
+
+    def scatter_reduce(
+        self, labels: np.ndarray, dst: np.ndarray, candidates: np.ndarray
+    ) -> None:
+        np.maximum.at(labels, dst, candidates)

@@ -1,0 +1,99 @@
+"""Fixed-point validation of traversal labels.
+
+A label vector is correct iff it is the unique fixed point of the
+problem's relaxation: *consistent* (no edge can still improve its
+destination) and *tight* (every reached label is witnessed by some
+in-edge, so labels are not merely a feasible over/under-estimate).
+These checks are O(|E|) and independent of any engine — they validate
+EtaGraph output without trusting EtaGraph, which both the test suite and
+downstream users can rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.algorithms.base import TraversalProblem, get_problem
+from repro.graph.csr import CSRGraph
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """Outcome of a label validation."""
+
+    ok: bool
+    violated_edges: int
+    unwitnessed_vertices: int
+    bad_source: bool
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.ok
+
+
+def validate_labels(
+    csr: CSRGraph,
+    labels: np.ndarray,
+    source: int,
+    problem: TraversalProblem | str,
+    *,
+    atol: float = 1e-5,
+) -> ValidationReport:
+    """Check that ``labels`` is the fixed point of ``problem`` on ``csr``.
+
+    Three conditions:
+
+    1. the source carries its initial label;
+    2. consistency — for no edge ``(u, v)`` does the candidate computed
+       from ``labels[u]`` improve ``labels[v]``;
+    3. witness — every non-source vertex whose label differs from the
+       unreached sentinel has an in-edge ``(u, v)`` whose candidate
+       equals its label (something actually produced that value).
+    """
+    if isinstance(problem, str):
+        problem = get_problem(problem)
+    problem.check_graph(csr)
+    labels = np.asarray(labels)
+
+    init = problem.initial_labels(csr.num_vertices, source)
+    bad_source = not _close(labels[source], init[source], atol)
+
+    src = csr.edge_sources().astype(np.int64)
+    dst = csr.column_indices.astype(np.int64)
+    cand = problem.candidates(labels[src], csr.edge_weights)
+
+    # 2. consistency: candidates that would still improve, excluding
+    # candidates propagated from unreached vertices (whose labels are the
+    # sentinel and produce non-improving or undefined candidates anyway).
+    improving = problem.improves(cand, labels[dst])
+    reached_src = problem.reached_mask(labels, source)[src]
+    violated = int((improving & reached_src).sum())
+
+    # 3. witness: every reached non-source label equals some in-candidate.
+    reached = problem.reached_mask(labels, source)
+    witnessed = np.zeros(csr.num_vertices, dtype=bool)
+    with np.errstate(invalid="ignore"):
+        # inf - inf -> nan -> False, which is the intended semantics for
+        # candidates propagated between unreached vertices.
+        exact = np.abs(cand - labels[dst]) <= atol
+    witnessed[dst[exact & reached_src]] = True
+    need_witness = reached.copy()
+    need_witness[source] = False
+    unwitnessed = int((need_witness & ~witnessed).sum())
+
+    ok = not bad_source and violated == 0 and unwitnessed == 0
+    return ValidationReport(
+        ok=ok,
+        violated_edges=violated,
+        unwitnessed_vertices=unwitnessed,
+        bad_source=bad_source,
+    )
+
+
+def _close(a, b, atol: float) -> bool:
+    a = float(a)
+    b = float(b)
+    if np.isinf(a) or np.isinf(b):
+        return a == b
+    return abs(a - b) <= atol

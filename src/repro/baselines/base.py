@@ -1,0 +1,136 @@
+"""Framework interface and the shared label-propagation step.
+
+A framework takes (graph, problem, source) and returns labels plus the
+timing split the paper reports for baselines — ``t_kernel / t_total``.
+OOM is not handled here: frameworks allocate through
+:class:`~repro.gpu.memory.DeviceMemory` and let
+:class:`~repro.errors.DeviceOutOfMemoryError` propagate; the benchmark
+runner renders it as the ``O.O.M`` cells of Table III.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.algorithms.base import TraversalProblem, get_problem
+from repro.errors import ConfigError, ConvergenceError
+from repro.gpu.device import DeviceSpec, GTX_1080TI
+from repro.gpu.profiler import Profiler
+from repro.graph.csr import CSRGraph
+
+#: Iteration safety net shared by all baseline loops.
+MAX_ITERATIONS = 100_000
+
+
+@dataclass
+class FrameworkResult:
+    """Outcome of one baseline traversal."""
+
+    labels: np.ndarray
+    source: int
+    problem_name: str
+    framework: str
+    kernel_ms: float
+    total_ms: float  # kernel + H2D transfer (the paper's t_total)
+    iterations: int
+    profiler: Profiler
+    device_bytes: int = 0
+    extras: dict = field(default_factory=dict)
+
+    def __repr__(self) -> str:
+        return (
+            f"FrameworkResult({self.framework}/{self.problem_name}, "
+            f"kernel={self.kernel_ms:.3f} ms, total={self.total_ms:.3f} ms)"
+        )
+
+
+class Framework(ABC):
+    """A GPU graph-processing framework under comparison."""
+
+    name: str = "?"
+
+    def __init__(self, device: DeviceSpec = GTX_1080TI):
+        self.device = device
+
+    @abstractmethod
+    def run(
+        self, csr: CSRGraph, problem: TraversalProblem | str, source: int
+    ) -> FrameworkResult:
+        """Execute one traversal; may raise DeviceOutOfMemoryError."""
+
+    def _resolve(self, csr: CSRGraph, problem, source: int) -> TraversalProblem:
+        if isinstance(problem, str):
+            problem = get_problem(problem)
+        problem.check_graph(csr)
+        if not 0 <= source < csr.num_vertices:
+            raise ConfigError(f"source {source} out of range")
+        return problem
+
+
+def propagate_step(
+    csr: CSRGraph,
+    labels: np.ndarray,
+    active: np.ndarray,
+    problem: TraversalProblem,
+) -> tuple[np.ndarray, int, np.ndarray, int]:
+    """One synchronous frontier relaxation, shared by all engines.
+
+    Pushes candidates along every out-edge of ``active`` and atomically
+    reduces them into ``labels`` (in place).
+
+    Returns ``(changed_vertices, attempted_updates, neighbor_ids,
+    edges_scanned)``.
+    """
+    from repro.utils.ragged import ragged_gather_indices
+
+    offsets = csr.row_offsets
+    starts = offsets[active].astype(np.int64)
+    degs = offsets[active + 1].astype(np.int64) - starts
+    edge_idx = ragged_gather_indices(starts, degs)
+    if len(edge_idx) == 0:
+        return np.empty(0, dtype=np.int64), 0, np.empty(0, dtype=np.int64), 0
+    nbr = csr.column_indices[edge_idx].astype(np.int64)
+    src_per_edge = np.repeat(labels[active], degs)
+    w = csr.edge_weights[edge_idx] if csr.edge_weights is not None else None
+    cand = problem.candidates(src_per_edge, w)
+    attempted = int(problem.improves(cand, labels[nbr]).sum())
+    dests = np.unique(nbr)
+    before = labels[dests].copy()
+    problem.scatter_reduce(labels, nbr, cand)
+    changed = dests[labels[dests] != before]
+    return changed, attempted, nbr, len(edge_idx)
+
+
+def check_iteration_budget(iteration: int, framework: str) -> None:
+    if iteration >= MAX_ITERATIONS:
+        raise ConvergenceError(
+            f"{framework} exceeded {MAX_ITERATIONS} iterations"
+        )
+
+
+def get_framework(name: str, device: DeviceSpec = GTX_1080TI) -> Framework:
+    """Instantiate a baseline (or EtaGraph wrapper) by table name."""
+    from repro.baselines.cpu_ligra import LigraLikeCPU
+    from repro.baselines.cusha import CuShaFramework
+    from repro.baselines.gts import GTSFramework
+    from repro.baselines.gunrock import GunrockFramework
+    from repro.baselines.tigr import TigrFramework
+    from repro.baselines.simple_vc import SimpleVertexCentric
+
+    registry = {
+        "cusha": CuShaFramework,
+        "gunrock": GunrockFramework,
+        "tigr": TigrFramework,
+        "simple-vc": SimpleVertexCentric,
+        "gts": GTSFramework,
+        "cpu-ligra": LigraLikeCPU,
+    }
+    try:
+        return registry[name.lower()](device)
+    except KeyError:
+        raise ConfigError(
+            f"unknown framework {name!r}; known: {sorted(registry)}"
+        ) from None

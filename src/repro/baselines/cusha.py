@@ -1,0 +1,192 @@
+"""CuSha baseline: G-Shards edge-centric processing (HPDC'14).
+
+Execution model reproduced here:
+
+* Graph is stored as G-Shards: per destination-window shards of
+  ``(src, dst, src_value, edge_value)`` entries sorted by source — about
+  four words per edge plus in/out vertex-value arrays, all ``cudaMalloc``'d
+  (this is why CuSha is the first framework to hit O.O.M in Table III).
+* Every iteration processes **all** shard entries (CuSha has no frontier):
+  one thread block per shard streams its entries — fully coalesced reads,
+  windowed shared-memory accumulation, coalesced write-back of the window,
+  then a streaming refresh of the shard ``src_value`` slots through the
+  Concatenated-Windows mapping.
+* Cost per iteration is therefore ~|E| streamed words regardless of how
+  few vertices are active — great on small-diameter graphs, increasingly
+  wasteful as iteration counts grow.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import (
+    Framework,
+    FrameworkResult,
+    check_iteration_budget,
+    propagate_step,
+)
+from repro.errors import ConfigError
+from repro.gpu.cache import CacheHierarchy
+from repro.gpu.kernel import simulate_streaming_kernel
+from repro.gpu.memory import DeviceMemory
+from repro.gpu.profiler import Profiler
+from repro.gpu.transfer import h2d_copy
+from repro.graph.csr import CSRGraph
+from repro.graph.gshard import GShards
+
+
+#: CuSha's processing methods (Section VI-B: the paper runs all three and
+#: reports the best).
+METHODS = ("gs", "cw", "vwc")
+
+
+class CuShaFramework(Framework):
+    """Edge-centric G-Shards / Concatenated-Windows / VWC engine.
+
+    ``method``:
+
+    * ``"gs"`` — plain G-Shards: stream every shard entry each pass and
+      refresh every src_value slot.
+    * ``"cw"`` — Concatenated Windows: windows are concatenated so the
+      value-refresh pass only rewrites slots of vertices that changed,
+      trading an extra index array for less write-back traffic.
+    * ``"vwc"`` — Virtual Warp-Centric: CuSha's re-implementation of the
+      virtual-warp CSR kernel it compares against; vertex-centric over
+      all vertices with sub-warp work division (less lockstep waste than
+      a plain thread-per-vertex kernel, no shard streaming).  It keeps
+      CuSha's per-edge value staging, so its footprint matches the shard
+      methods.
+    * ``"best"`` — run all three, report the fastest (the paper's setup).
+    """
+
+    name = "cusha"
+
+    #: Instructions per shard entry (load 4 fields, compare, accumulate).
+    INSTR_PER_EDGE = 14.0
+
+    def __init__(self, device=None, method: str = "gs"):
+        from repro.gpu.device import GTX_1080TI
+
+        super().__init__(device or GTX_1080TI)
+        if method not in METHODS + ("best",):
+            raise ConfigError(
+                f"unknown CuSha method {method!r}; known: {METHODS + ('best',)}"
+            )
+        self.method = method
+
+    def run(self, csr: CSRGraph, problem, source: int) -> FrameworkResult:
+        if self.method == "best":
+            results = [self._run_method(csr, problem, source, m)
+                       for m in METHODS]
+            best = min(results, key=lambda r: r.total_ms)
+            best.extras["method"] = best.extras["method"] + " (best of 3)"
+            return best
+        return self._run_method(csr, problem, source, self.method)
+
+    def _run_method(
+        self, csr: CSRGraph, problem, source: int, method: str
+    ) -> FrameworkResult:
+        problem = self._resolve(csr, problem, source)
+        spec = self.device
+        mem = DeviceMemory(spec)
+        caches = CacheHierarchy(spec)
+        prof = Profiler()
+
+        shards = GShards.from_csr(csr)
+        # Allocate CuSha's actual device structures; OOM emerges here.
+        # All three methods stage per-edge values, so the footprint is
+        # common (which is why the paper's O.O.M cells cover the whole
+        # framework, not one method).
+        device_arrays = [
+            mem.alloc(name, arr) for name, arr in shards.device_arrays().items()
+        ]
+        if method == "cw":
+            mem.alloc_empty("cw_index", max(shards.num_edges, 1), np.int32)
+        labels_host = problem.initial_labels(csr.num_vertices, source)
+        labels_arr = mem.alloc("vertex_values_in", labels_host.copy())
+        mem.alloc_empty("vertex_values_out", max(csr.num_vertices, 1),
+                        labels_host.dtype)
+        labels = labels_arr.data
+
+        # Upfront H2D of shards + initial values.
+        transfer_ms = 0.0
+        for arr in device_arrays + [labels_arr]:
+            transfer_ms += h2d_copy(spec, prof, arr.nbytes)
+
+        entry_words = 4 if csr.edge_weights is None else 5
+
+        kernel_ms = 0.0
+        iterations = 0
+        all_vertices = np.arange(csr.num_vertices, dtype=np.int64)
+        prev_changed = csr.num_vertices
+        while True:
+            check_iteration_budget(iterations, self.name)
+            # Edge-centric: relax along *every* edge each pass.
+            changed, _attempted, _nbr, _edges = propagate_step(
+                csr, labels, all_vertices, problem
+            )
+            timing = self._pass_cost(
+                spec, caches, csr, shards, method, entry_words, prev_changed
+            )
+            prof.record_kernel(timing.counters)
+            kernel_ms += timing.time_ms
+            prev_changed = len(changed)
+            iterations += 1
+            if len(changed) == 0:
+                break
+
+        return FrameworkResult(
+            labels=labels.copy(),
+            source=source,
+            problem_name=problem.name,
+            framework=self.name,
+            kernel_ms=kernel_ms,
+            total_ms=kernel_ms + transfer_ms,
+            iterations=iterations,
+            profiler=prof,
+            device_bytes=mem.device_bytes_in_use,
+            extras={"num_shards": shards.num_shards, "method": method},
+        )
+
+    def _pass_cost(self, spec, caches, csr, shards, method, entry_words,
+                   prev_changed):
+        """One full-graph pass under the given processing method."""
+        if method == "vwc":
+            # Virtual warp-centric: read CSR + staged values, sub-warp
+            # division halves (not eliminates) lockstep waste; scattered
+            # value gathers instead of streaming.
+            return simulate_streaming_kernel(
+                spec, caches,
+                read_bytes=shards.num_edges * 2 * 4 + csr.num_vertices * 8,
+                write_bytes=csr.num_vertices * 4,
+                n_threads=max(shards.num_edges, 1),
+                instr_per_thread=self.INSTR_PER_EDGE + 6.0,
+                scatter_base_address=0,
+                scatter_indices=csr.column_indices[
+                    :: max(1, csr.num_edges // 100_000)
+                ].astype(np.int64),
+            )
+        if method == "cw":
+            # Concatenated windows: refresh only changed vertices' slots.
+            refresh_frac = min(1.0, prev_changed / max(csr.num_vertices, 1))
+            read_bytes = (shards.num_edges * entry_words * 4
+                          + csr.num_vertices * 4)
+            write_bytes = (shards.num_edges * 4 * refresh_frac
+                           + csr.num_vertices * 4)
+            return simulate_streaming_kernel(
+                spec, caches,
+                read_bytes=read_bytes,
+                write_bytes=write_bytes,
+                n_threads=max(shards.num_edges, 1),
+                instr_per_thread=self.INSTR_PER_EDGE + 1.0,
+            )
+        # Plain G-Shards.
+        return simulate_streaming_kernel(
+            spec, caches,
+            read_bytes=shards.num_edges * entry_words * 4
+            + csr.num_vertices * 4,
+            write_bytes=shards.num_edges * 4 + csr.num_vertices * 4,
+            n_threads=max(shards.num_edges, 1),
+            instr_per_thread=self.INSTR_PER_EDGE,
+        )

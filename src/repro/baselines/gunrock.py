@@ -1,0 +1,168 @@
+"""Gunrock baseline: frontier advance + filter (PPoPP'16).
+
+Execution model reproduced here:
+
+* Data-centric frontier abstraction: each iteration runs an **advance**
+  kernel (expand the vertex frontier along out-edges, merge-based load
+  balancing across per-thread / per-warp / per-CTA strategies) and a
+  **filter** kernel (compact the generated edge frontier into the next
+  vertex frontier) — two launches plus a scan per iteration, which is the
+  per-iteration overhead EtaGraph's single fused kernel avoids.
+* Load balancing is good (``balanced_issue``), but neighbor gathers stay
+  uncoalesced and there is no shared-memory prefetch.
+* Problem data allocates CSR plus per-edge values plus two frontier
+  queues sized at a fraction of |E| (Gunrock's queue-sizing factor) —
+  the footprint that drives its O.O.M on sk-2005/uk-2006 in Table III.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.baselines.base import (
+    Framework,
+    FrameworkResult,
+    check_iteration_budget,
+    propagate_step,
+)
+from repro.gpu.cache import CacheHierarchy
+from repro.gpu.kernel import simulate_streaming_kernel, simulate_vertex_kernel
+from repro.gpu.memory import DeviceMemory
+from repro.gpu.profiler import Profiler
+from repro.gpu.transfer import h2d_copy
+from repro.graph.csr import CSRGraph, VERTEX_DTYPE
+
+
+#: Gunrock's workload-mapping strategies for the advance kernel
+#: (Section VII-B: per-thread fine-grained, per-warp and per-CTA
+#: coarse-grained; the enactor picks dynamically by frontier shape).
+MAPPINGS = ("thread", "warp", "cta", "dynamic")
+
+
+class GunrockFramework(Framework):
+    """Frontier-based advance/filter engine."""
+
+    name = "gunrock"
+
+    #: Gunrock sizes its ping-pong frontier queues as a fraction of |E|
+    #: (the enactor's queue-sizing factor).  0.33 reproduces the paper's
+    #: Table III footprint boundary: SSSP fits RMAT25/uk-2005, everything
+    #: dies at sk-2005.
+    QUEUE_SIZING = 0.33
+
+    #: Frontier max-degree above which the dynamic policy switches from
+    #: per-thread to the coarse-grained (balanced) mappings.
+    DYNAMIC_DEGREE_THRESHOLD = 128
+
+    def __init__(self, device=None, mapping: str = "dynamic"):
+        from repro.gpu.device import GTX_1080TI
+
+        super().__init__(device or GTX_1080TI)
+        if mapping not in MAPPINGS:
+            raise ConfigError(
+                f"unknown Gunrock mapping {mapping!r}; known: {MAPPINGS}"
+            )
+        self.mapping = mapping
+
+    def _advance_params(self, max_degree: int) -> tuple[bool, float]:
+        """(balanced_issue, extra instructions/edge) for the advance kernel.
+
+        Per-thread mapping is cheap but lockstep-bound; warp/CTA mappings
+        balance via cooperative expansion at a per-edge bookkeeping cost.
+        """
+        mapping = self.mapping
+        if mapping == "dynamic":
+            mapping = ("cta" if max_degree > self.DYNAMIC_DEGREE_THRESHOLD
+                       else "thread")
+        if mapping == "thread":
+            return False, 0.5
+        if mapping == "warp":
+            return True, 2.0
+        return True, 3.0  # cta: scan + binary search per edge
+
+    def run(self, csr: CSRGraph, problem, source: int) -> FrameworkResult:
+        problem = self._resolve(csr, problem, source)
+        spec = self.device
+        mem = DeviceMemory(spec)
+        caches = CacheHierarchy(spec)
+        prof = Profiler()
+
+        # Problem + enactor allocations (cudaMalloc; OOM emerges here).
+        offsets_arr = mem.alloc("row_offsets", csr.row_offsets)
+        cols_arr = mem.alloc("column_indices", csr.column_indices)
+        weights_arr = None
+        if csr.edge_weights is not None:
+            weights_arr = mem.alloc("edge_weights", csr.edge_weights)
+        queue_len = max(int(self.QUEUE_SIZING * csr.num_edges), csr.num_vertices)
+        mem.alloc_empty("frontier_queue_a", queue_len, VERTEX_DTYPE)
+        mem.alloc_empty("frontier_queue_b", queue_len, VERTEX_DTYPE)
+        labels_host = problem.initial_labels(csr.num_vertices, source)
+        labels_arr = mem.alloc("labels", labels_host.copy())
+        mem.alloc_empty("preds", max(csr.num_vertices, 1), VERTEX_DTYPE)
+        mem.alloc_empty("visited_flags", max(csr.num_vertices, 1), np.uint8)
+        labels = labels_arr.data
+
+        transfer_ms = 0.0
+        for arr in (offsets_arr, cols_arr, weights_arr, labels_arr):
+            if arr is not None:
+                transfer_ms += h2d_copy(spec, prof, arr.nbytes)
+
+        offsets = csr.row_offsets
+        kernel_ms = 0.0
+        iterations = 0
+        active = np.array([source], dtype=np.int64)
+        while len(active):
+            check_iteration_budget(iterations, self.name)
+            starts = offsets[active].astype(np.int64)
+            degs = offsets[active + 1].astype(np.int64) - starts
+            changed, attempted, nbr, edges = propagate_step(
+                csr, labels, active, problem
+            )
+
+            if edges:
+                # Advance under the selected workload mapping, no SMP.
+                balanced, lb_cost = self._advance_params(int(degs.max()))
+                advance = simulate_vertex_kernel(
+                    spec, caches,
+                    starts=starts,
+                    degrees=degs,
+                    adj_array=cols_arr,
+                    neighbor_ids=nbr,
+                    label_array=labels_arr,
+                    weight_array=weights_arr,
+                    meta_array=offsets_arr,
+                    meta_words_per_thread=2,  # row_offsets[v], row_offsets[v+1]
+                    balanced_issue=balanced,
+                    updates=attempted,
+                    instr_per_edge=problem.instr_per_edge + lb_cost,
+                )
+                prof.record_kernel(advance.counters)
+                kernel_ms += advance.time_ms
+
+            # Filter: stream the generated edge frontier, scan + compact
+            # into the next vertex frontier.
+            filter_k = simulate_streaming_kernel(
+                spec, caches,
+                read_bytes=max(edges, 1) * 4,
+                write_bytes=len(changed) * 4,
+                n_threads=max(edges, 1),
+                instr_per_thread=10.0,
+            )
+            prof.record_kernel(filter_k.counters)
+            kernel_ms += filter_k.time_ms
+
+            active = changed
+            iterations += 1
+
+        return FrameworkResult(
+            labels=labels.copy(),
+            source=source,
+            problem_name=problem.name,
+            framework=self.name,
+            kernel_ms=kernel_ms,
+            total_ms=kernel_ms + transfer_ms,
+            iterations=iterations,
+            profiler=prof,
+            device_bytes=mem.device_bytes_in_use,
+        )

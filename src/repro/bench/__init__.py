@@ -1,0 +1,18 @@
+"""Benchmark harness: regenerates every table and figure of the paper.
+
+Each experiment module exposes ``run(quick=False) -> ExperimentReport``;
+the ``benchmarks/`` pytest-benchmark suite wraps them one-to-one.  See
+DESIGN.md section 4 for the experiment index and EXPERIMENTS.md for
+paper-vs-measured results.
+"""
+
+from repro.bench.runner import BenchContext, ExperimentReport, run_cell
+from repro.bench import workloads, reporting
+
+__all__ = [
+    "BenchContext",
+    "ExperimentReport",
+    "run_cell",
+    "workloads",
+    "reporting",
+]

@@ -1,0 +1,72 @@
+"""CLI for regenerating paper artifacts.
+
+Usage::
+
+    python -m repro.bench               # list experiments
+    python -m repro.bench table3        # run one (full datasets)
+    python -m repro.bench all --quick   # everything, small datasets only
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench.experiments import ALL_EXPERIMENTS
+from repro.bench.runner import BenchContext
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        nargs="?",
+        help=f"one of: {', '.join(sorted(ALL_EXPERIMENTS))}, or 'all'",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="restrict to the small datasets (fast)",
+    )
+    parser.add_argument(
+        "--json-dir", default=None,
+        help="also save each report's data as JSON into this directory",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment is None:
+        print("available experiments:")
+        for name in sorted(ALL_EXPERIMENTS):
+            print(f"  {name}")
+        return 0
+
+    if args.experiment == "all":
+        names = sorted(ALL_EXPERIMENTS)
+    elif args.experiment in ALL_EXPERIMENTS:
+        names = [args.experiment]
+    else:
+        print(f"unknown experiment {args.experiment!r}", file=sys.stderr)
+        return 2
+
+    ctx = BenchContext()
+    for name in names:
+        t0 = time.time()
+        report = ALL_EXPERIMENTS[name](quick=args.quick, ctx=ctx)
+        print(report.text)
+        print(f"[{name} completed in {time.time() - t0:.1f}s]\n")
+        if args.json_dir:
+            from pathlib import Path
+
+            from repro.bench.export import save_report
+
+            out_dir = Path(args.json_dir)
+            out_dir.mkdir(parents=True, exist_ok=True)
+            save_report(report, out_dir / f"{name}.json")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

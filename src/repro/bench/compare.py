@@ -1,0 +1,99 @@
+"""Compare two saved reproduction runs (JSON report directories).
+
+``python -m repro.bench all --json-dir runs/A`` twice (e.g. before and
+after a model change) and then::
+
+    python -c "from repro.bench.compare import compare_dirs, render; \
+               print(render(compare_dirs('runs/A', 'runs/B')))"
+
+flags every numeric leaf whose relative drift exceeds a tolerance —
+mechanical regression checking for the *shapes*, complementing the bench
+suite's hard assertions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.bench.export import load_report_dict
+from repro.utils.tables import render_table
+
+
+@dataclass(frozen=True)
+class Drift:
+    """One numeric leaf that moved between runs."""
+
+    experiment: str
+    path: str
+    before: float
+    after: float
+
+    @property
+    def rel_change(self) -> float:
+        if self.before == 0:
+            return float("inf") if self.after else 0.0
+        return (self.after - self.before) / abs(self.before)
+
+
+def _walk(value, path=""):
+    """Yield (path, leaf) for every numeric leaf."""
+    if isinstance(value, bool):
+        return
+    if isinstance(value, (int, float)):
+        yield path, float(value)
+    elif isinstance(value, dict):
+        for k, v in value.items():
+            yield from _walk(v, f"{path}.{k}" if path else str(k))
+    elif isinstance(value, list):
+        for i, v in enumerate(value):
+            yield from _walk(v, f"{path}[{i}]")
+
+
+def compare_reports(
+    before: dict, after: dict, *, rel_tolerance: float = 0.05
+) -> list[Drift]:
+    """Numeric leaves present in both reports that drifted beyond
+    ``rel_tolerance`` (relative)."""
+    name = before.get("experiment", "?")
+    b = dict(_walk(before.get("data", {})))
+    a = dict(_walk(after.get("data", {})))
+    drifts = []
+    for path in sorted(set(b) & set(a)):
+        x, y = b[path], a[path]
+        denom = max(abs(x), 1e-12)
+        if abs(y - x) / denom > rel_tolerance:
+            drifts.append(Drift(experiment=name, path=path, before=x, after=y))
+    return drifts
+
+
+def compare_dirs(
+    dir_a: str | Path, dir_b: str | Path, *, rel_tolerance: float = 0.05
+) -> list[Drift]:
+    """Compare all same-named ``<experiment>.json`` files in two dirs."""
+    dir_a, dir_b = Path(dir_a), Path(dir_b)
+    drifts: list[Drift] = []
+    for file_a in sorted(dir_a.glob("*.json")):
+        file_b = dir_b / file_a.name
+        if not file_b.exists():
+            continue
+        drifts.extend(compare_reports(
+            load_report_dict(file_a), load_report_dict(file_b),
+            rel_tolerance=rel_tolerance,
+        ))
+    return drifts
+
+
+def render(drifts: list[Drift]) -> str:
+    """Human-readable drift summary."""
+    if not drifts:
+        return "no drift beyond tolerance"
+    rows = [
+        [d.experiment, d.path, f"{d.before:g}", f"{d.after:g}",
+         f"{100 * d.rel_change:+.1f}%"]
+        for d in drifts
+    ]
+    return render_table(
+        ["experiment", "metric", "before", "after", "change"], rows,
+        title=f"{len(drifts)} drifted metrics",
+    )

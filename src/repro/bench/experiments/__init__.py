@@ -1,0 +1,33 @@
+"""One module per paper artifact (see DESIGN.md section 4).
+
+Every module exposes ``run(quick: bool = False, ctx: BenchContext | None)
+-> ExperimentReport``.
+"""
+
+from repro.bench.experiments import (  # noqa: F401
+    exp_table1,
+    exp_table2,
+    exp_table3,
+    exp_table4,
+    exp_table5,
+    exp_fig2,
+    exp_fig3,
+    exp_fig4,
+    exp_fig5,
+    exp_fig6,
+    exp_fig7,
+)
+
+ALL_EXPERIMENTS = {
+    "table1": exp_table1.run,
+    "table2": exp_table2.run,
+    "table3": exp_table3.run,
+    "table4": exp_table4.run,
+    "table5": exp_table5.run,
+    "fig2": exp_fig2.run,
+    "fig3": exp_fig3.run,
+    "fig4": exp_fig4.run,
+    "fig5": exp_fig5.run,
+    "fig6": exp_fig6.run,
+    "fig7": exp_fig7.run,
+}

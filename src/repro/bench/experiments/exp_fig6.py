@@ -1,0 +1,57 @@
+"""Fig. 6 — ablation: normalized runtimes of EtaGraph setups.
+
+Runs EtaGraph, 'w/o SMP' and 'w/o UM' (plain cudaMalloc) on every dataset
+and reports runtimes normalized to full EtaGraph.  Paper shapes:
+
+* w/o SMP costs 1.11-2.14x on the datasets where kernels dominate, and
+  ~1.0x on uk-2006 (transfer-dominated);
+* w/o UM costs 1.02-1.26x — and cannot process uk-2006 at all (the
+  topology exceeds device capacity without UM oversubscription).
+"""
+
+from __future__ import annotations
+
+from repro.bench.runner import BenchContext, ExperimentReport, run_cell
+from repro.bench import workloads
+from repro.utils.tables import render_table
+
+VARIANTS = ("etagraph", "etagraph-nosmp", "etagraph-noum")
+LABELS = {"etagraph": "EtaGraph", "etagraph-nosmp": "w/o SMP",
+          "etagraph-noum": "w/o UM"}
+
+
+def run(quick: bool = False, ctx: BenchContext | None = None) -> ExperimentReport:
+    ctx = ctx or BenchContext()
+    names = workloads.dataset_names(quick)
+
+    rows = []
+    data = {}
+    for ds in names:
+        base = run_cell(ctx, "etagraph", "bfs", ds)
+        row = [ds, f"{base.total_ms:.3f}"]
+        entry = {"etagraph_ms": base.total_ms}
+        for variant in VARIANTS[1:]:
+            cell = run_cell(ctx, variant, "bfs", ds)
+            if cell.oom:
+                row.append("O.O.M")
+                entry[LABELS[variant]] = None
+            else:
+                norm = cell.total_ms / base.total_ms
+                row.append(f"{norm:.2f}x")
+                entry[LABELS[variant]] = norm
+        data[ds] = entry
+        rows.append(row)
+
+    text = render_table(
+        ["dataset", "EtaGraph ms", "w/o SMP (norm)", "w/o UM (norm)"],
+        rows,
+        title="Fig. 6: normalized runtimes of EtaGraph setups (BFS); "
+              "paper: w/o SMP 1.11-2.14x, w/o UM 1.02-1.26x, "
+              "uk-2006 impossible w/o UM",
+    )
+    return ExperimentReport(
+        experiment="fig6",
+        title="Ablation of SMP and UM",
+        text=text,
+        data=data,
+    )

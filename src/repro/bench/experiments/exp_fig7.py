@@ -1,0 +1,70 @@
+"""Fig. 7 — microarchitectural effect of SMP (BFS on LiveJournal).
+
+nvprof-equivalent counters with SMP on vs off, normalized to the
+without-SMP run.  Paper values: IPC 1.42x, unified-cache hit rate 1.02x,
+L2 hit rate 1.19x, ~2.2x read throughput at L2 / unified cache / DRAM,
+and 0.48x global read transactions.
+"""
+
+from __future__ import annotations
+
+from repro.bench.runner import BenchContext, ExperimentReport, run_cell
+from repro.utils.tables import render_table
+
+PAPER = {
+    "ipc": 1.42,
+    "unified_hit_rate": 1.02,
+    "l2_hit_rate": 1.19,
+    "l2_read_throughput": 2.2,
+    "unified_read_throughput": 2.2,
+    "dram_read_throughput": 2.2,
+    "global_read_transactions": 0.48,
+}
+
+
+def _metrics(counters) -> dict[str, float]:
+    return {
+        "ipc": counters.ipc,
+        "unified_hit_rate": counters.unified_hit_rate,
+        "l2_hit_rate": counters.l2_hit_rate,
+        "l2_read_throughput": counters.l2_read_throughput_gbps,
+        "unified_read_throughput": counters.unified_read_throughput_gbps,
+        "dram_read_throughput": counters.dram_read_throughput_gbps,
+        "global_read_transactions": float(counters.global_load_transactions),
+    }
+
+
+def run(quick: bool = False, ctx: BenchContext | None = None) -> ExperimentReport:
+    ctx = ctx or BenchContext()
+
+    with_smp = run_cell(ctx, "etagraph", "bfs", "livejournal")
+    without = run_cell(ctx, "etagraph-nosmp", "bfs", "livejournal")
+    m_smp = _metrics(with_smp.extras["profiler"].kernels)
+    m_base = _metrics(without.extras["profiler"].kernels)
+
+    rows = []
+    normalized = {}
+    for key, paper in PAPER.items():
+        norm = m_smp[key] / m_base[key] if m_base[key] else float("nan")
+        normalized[key] = norm
+        rows.append([
+            key,
+            f"{m_base[key]:.4g}",
+            f"{m_smp[key]:.4g}",
+            f"{norm:.2f}x",
+            f"{paper:.2f}x",
+        ])
+
+    text = render_table(
+        ["metric", "w/o SMP", "with SMP", "normalized", "paper"],
+        rows,
+        title="Fig. 7: effect of SMP on memory-system metrics "
+              "(BFS, LiveJournal)",
+    )
+    return ExperimentReport(
+        experiment="fig7",
+        title="SMP microarchitecture metrics",
+        text=text,
+        data={"with_smp": m_smp, "without_smp": m_base,
+              "normalized": normalized, "paper": PAPER},
+    )

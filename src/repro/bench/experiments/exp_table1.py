@@ -1,0 +1,57 @@
+"""Table I — theoretical space overhead and normalized usage.
+
+Builds G-Shards, edge-list, VST (K=10) and CSR for the LiveJournal
+surrogate and reports topology words normalized to CSR.  Paper values:
+G-Shard 1.87, Edge List 1.87, VST 1.32, CSR 1.00.
+"""
+
+from __future__ import annotations
+
+from repro.bench.runner import BenchContext, ExperimentReport
+from repro.graph.edgelist import EdgeList
+from repro.graph.gshard import GShards
+from repro.graph.vst import VirtualSplitGraph
+from repro.utils.tables import render_table
+
+#: Table I computes |N| with K = 10.
+VST_K = 10
+
+PAPER_NORMALIZED = {
+    "G-Shard": 1.87,
+    "Edge List": 1.87,
+    "VST": 1.32,
+    "CSR": 1.00,
+}
+
+
+def run(quick: bool = False, ctx: BenchContext | None = None) -> ExperimentReport:
+    ctx = ctx or BenchContext()
+    csr, _src = ctx.load("livejournal", weighted=False)
+    base = csr.topology_words()
+
+    measured = {
+        "G-Shard": GShards.from_csr(csr).topology_words(),
+        "Edge List": EdgeList.from_csr(csr).topology_words(),
+        "VST": VirtualSplitGraph(csr, VST_K).topology_words(),
+        "CSR": base,
+    }
+    normalized = {k: v / base for k, v in measured.items()}
+
+    rows = [
+        [name, f"{measured[name]:,}", f"{normalized[name]:.2f}",
+         f"{PAPER_NORMALIZED[name]:.2f}"]
+        for name in ("G-Shard", "Edge List", "VST", "CSR")
+    ]
+    text = render_table(
+        ["structure", "topology words", "normalized", "paper"],
+        rows,
+        title="Table I: space overhead, LiveJournal surrogate "
+              f"(|V|={csr.num_vertices:,}, |E|={csr.num_edges:,})",
+    )
+    return ExperimentReport(
+        experiment="table1",
+        title="Space overhead of graph layouts",
+        text=text,
+        data={"measured_words": measured, "normalized": normalized,
+              "paper": PAPER_NORMALIZED},
+    )

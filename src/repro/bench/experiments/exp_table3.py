@@ -1,0 +1,49 @@
+"""Table III — the headline performance comparison.
+
+Runs CuSha, Gunrock, Tigr (reporting ``t_kernel/t_total``), EtaGraph and
+EtaGraph w/o UMP (reporting total) for BFS / SSSP / SSWP over all seven
+datasets on the capacity-scaled device.  O.O.M cells arise from real
+allocation failures.
+
+Shapes that must hold (Section VI-C):
+
+* EtaGraph total beats every baseline's total on the mid/large datasets;
+* the O.O.M pattern: CuSha dies first (RMAT25+), Gunrock at sk-2005+,
+  Tigr at uk-2006 (BFS) / sk-2005 (SSSP), EtaGraph never;
+* EtaGraph w/o UMP slower than EtaGraph everywhere except uk-2006, where
+  the tiny activatable subgraph makes on-demand migration win big.
+"""
+
+from __future__ import annotations
+
+from repro.bench.runner import BenchContext, CellResult, ExperimentReport, run_cell
+from repro.bench import workloads
+from repro.bench.reporting import grid_table
+
+
+def run(quick: bool = False, ctx: BenchContext | None = None) -> ExperimentReport:
+    ctx = ctx or BenchContext()
+    names = workloads.dataset_names(quick)
+
+    cells: dict[str, dict[tuple[str, str], CellResult]] = {}
+    sections = []
+    for alg in workloads.ALGORITHMS:
+        frameworks = workloads.frameworks_for(alg)
+        grid: dict[tuple[str, str], CellResult] = {}
+        for fw in frameworks:
+            for ds in names:
+                grid[(fw, ds)] = run_cell(ctx, fw, alg, ds)
+        cells[alg] = grid
+        sections.append(grid_table(
+            f"Table III ({alg.upper()}): runtime ms "
+            "(baselines t_kernel/t_total, EtaGraph total)",
+            frameworks, names, grid,
+            etagraph_rows=[f for f in frameworks if f.startswith("etagraph")],
+        ))
+
+    return ExperimentReport(
+        experiment="table3",
+        title="Performance comparison",
+        text="\n\n".join(sections),
+        data={"cells": cells, "datasets": names},
+    )

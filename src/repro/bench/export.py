@@ -1,0 +1,70 @@
+"""JSON export of experiment reports.
+
+Every :class:`~repro.bench.runner.ExperimentReport` can be serialized so
+successive reproduction runs can be diffed mechanically (CI regression
+checks on the *shapes*, not just eyeballing tables).  Numpy scalars,
+arrays and the library's dataclasses are flattened to plain JSON types.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.bench.runner import ExperimentReport
+
+
+def _jsonable(value: Any) -> Any:
+    """Recursively convert to JSON-compatible types."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        v = float(value)
+        return v if np.isfinite(v) else repr(v)
+    if isinstance(value, np.ndarray):
+        return [_jsonable(v) for v in value.tolist()]
+    if isinstance(value, dict):
+        return {_key(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set)):
+        return [_jsonable(v) for v in value]
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _jsonable(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    # Objects with a useful dict view (stats, profilers); fall back to repr.
+    if hasattr(value, "__dict__") and value.__dict__:
+        return {k: _jsonable(v) for k, v in value.__dict__.items()
+                if not k.startswith("_")}
+    return repr(value)
+
+
+def _key(k: Any) -> str:
+    if isinstance(k, tuple):
+        return "/".join(str(p) for p in k)
+    return str(k)
+
+
+def report_to_dict(report: ExperimentReport) -> dict:
+    """Flatten a report to JSON-compatible primitives."""
+    return {
+        "experiment": report.experiment,
+        "title": report.title,
+        "data": _jsonable(report.data),
+    }
+
+
+def save_report(report: ExperimentReport, path: str | Path) -> None:
+    """Write a report (data only, not the rendered text) as JSON."""
+    Path(path).write_text(json.dumps(report_to_dict(report), indent=2))
+
+
+def load_report_dict(path: str | Path) -> dict:
+    """Load a previously saved report's data for comparison."""
+    return json.loads(Path(path).read_text())

@@ -1,0 +1,41 @@
+"""Rendering helpers for experiment reports."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.bench.runner import CellResult
+from repro.utils.tables import render_table
+
+
+def grid_table(
+    title: str,
+    row_keys: Sequence[str],
+    col_keys: Sequence[str],
+    cells: dict[tuple[str, str], CellResult],
+    *,
+    etagraph_rows: Sequence[str] = (),
+) -> str:
+    """Render a framework x dataset grid the way Table III prints it."""
+    rows = []
+    for row in row_keys:
+        cols = []
+        for col in col_keys:
+            cell = cells.get((row, col))
+            if cell is None:
+                cols.append("-")
+            else:
+                cols.append(cell.cell_text(etagraph_style=row in etagraph_rows))
+        rows.append([row, *cols])
+    return render_table(["framework", *col_keys], rows, title=title)
+
+
+def ratio(a: float, b: float) -> float:
+    """Safe ratio for speedup reporting."""
+    if b == 0:
+        return float("inf")
+    return a / b
+
+
+def fmt_speedup(x: float) -> str:
+    return f"{x:.2f}x"

@@ -1,0 +1,126 @@
+"""Experiment orchestration: run one (framework, algorithm, dataset) cell.
+
+``run_cell`` is the single execution path every experiment uses: it loads
+the (cached) surrogate dataset, instantiates the requested engine on the
+capacity-scaled device, and returns a uniform :class:`CellResult` — with
+``oom=True`` instead of timings when the framework exhausts device memory,
+exactly how Table III reports it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.baselines import get_framework
+from repro.bench import workloads
+from repro.core.api import EtaGraph
+from repro.core.config import EtaGraphConfig, MemoryMode
+from repro.errors import ConfigError, DeviceOutOfMemoryError
+from repro.graph import datasets
+from repro.gpu.device import DeviceSpec
+
+
+@dataclass
+class CellResult:
+    """One cell of a results grid."""
+
+    framework: str
+    algorithm: str
+    dataset: str
+    oom: bool = False
+    kernel_ms: float = float("nan")
+    total_ms: float = float("nan")
+    iterations: int = 0
+    labels: np.ndarray | None = None
+    extras: dict = field(default_factory=dict)
+
+    def cell_text(self, etagraph_style: bool = False) -> str:
+        """Render like the paper: ``t_kernel/t_total`` for baselines,
+        a single total for EtaGraph variants, ``O.O.M`` on exhaustion."""
+        if self.oom:
+            return "O.O.M"
+        if etagraph_style:
+            return f"{self.total_ms:.3f}"
+        return f"{self.kernel_ms:.3f}/{self.total_ms:.3f}"
+
+
+@dataclass
+class ExperimentReport:
+    """What every experiment's ``run`` returns."""
+
+    experiment: str
+    title: str
+    text: str
+    data: dict
+
+    def __str__(self) -> str:
+        return self.text
+
+
+class BenchContext:
+    """Caches loaded datasets across experiments within one process."""
+
+    def __init__(self, device: DeviceSpec | None = None):
+        self.device = device or workloads.bench_device()
+        self._graphs: dict[tuple[str, bool], tuple] = {}
+
+    def load(self, name: str, weighted: bool):
+        key = (name, weighted)
+        if key not in self._graphs:
+            self._graphs[key] = datasets.load(name, weighted=weighted)
+        return self._graphs[key]
+
+
+def _etagraph_config(variant: str) -> EtaGraphConfig:
+    if variant == "etagraph":
+        return EtaGraphConfig()
+    if variant == "etagraph-noump":
+        return EtaGraphConfig(memory_mode=MemoryMode.UM_ON_DEMAND)
+    if variant == "etagraph-nosmp":
+        return EtaGraphConfig(smp=False)
+    if variant == "etagraph-noum":
+        return EtaGraphConfig(memory_mode=MemoryMode.DEVICE)
+    raise ConfigError(f"unknown EtaGraph variant {variant!r}")
+
+
+def run_cell(
+    ctx: BenchContext,
+    framework: str,
+    algorithm: str,
+    dataset: str,
+    *,
+    keep_labels: bool = False,
+) -> CellResult:
+    """Execute one grid cell; OOM becomes a marked cell, not an error."""
+    weighted = algorithm in ("sssp", "sswp")
+    csr, source = ctx.load(dataset, weighted)
+    cell = CellResult(framework=framework, algorithm=algorithm, dataset=dataset)
+    try:
+        if framework.startswith("etagraph"):
+            cfg = _etagraph_config(framework)
+            result = EtaGraph(csr, cfg, ctx.device).run(algorithm, source)
+            cell.kernel_ms = result.kernel_ms
+            cell.total_ms = result.total_ms
+            cell.iterations = result.iterations
+            cell.extras = {
+                "stats": result.stats,
+                "timeline": result.timeline,
+                "profiler": result.profiler,
+                "oversubscribed": result.oversubscribed,
+            }
+            if keep_labels:
+                cell.labels = result.labels
+        else:
+            fw = get_framework(framework, ctx.device)
+            result = fw.run(csr, algorithm, source)
+            cell.kernel_ms = result.kernel_ms
+            cell.total_ms = result.total_ms
+            cell.iterations = result.iterations
+            cell.extras = {"profiler": result.profiler}
+            if keep_labels:
+                cell.labels = result.labels
+    except DeviceOutOfMemoryError:
+        cell.oom = True
+    return cell

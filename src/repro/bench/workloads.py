@@ -1,0 +1,40 @@
+"""Workload definitions shared by the experiment modules.
+
+One place decides which datasets each experiment sweeps, which device
+capacity is used (the paper's 11 GiB scaled by the dataset scale factor),
+and what "quick mode" trims for CI-speed runs.
+"""
+
+from __future__ import annotations
+
+from repro.graph import datasets
+from repro.gpu.device import DeviceSpec, GTX_1080TI
+
+#: Table III frameworks, in row order.
+TABLE3_FRAMEWORKS = ("cusha", "gunrock", "tigr", "etagraph", "etagraph-noump")
+
+#: Table III / IV datasets, in column order (Table II order).
+FULL_DATASETS = list(datasets.ALL_DATASETS)
+
+#: Quick-mode subset: the three graphs that fit every framework.
+QUICK_DATASETS = ["slashdot", "livejournal", "com-orkut"]
+
+#: Algorithms in Table III row-group order.
+ALGORITHMS = ("bfs", "sssp", "sswp")
+
+#: SSWP is only reported for Tigr and EtaGraph in the paper (CuSha and
+#: Gunrock don't ship it).
+SSWP_FRAMEWORKS = ("tigr", "etagraph", "etagraph-noump")
+
+
+def bench_device() -> DeviceSpec:
+    """The paper's GTX 1080 Ti with capacity scaled to the dataset scale."""
+    return GTX_1080TI.with_capacity(datasets.scaled_device_capacity())
+
+
+def dataset_names(quick: bool) -> list[str]:
+    return QUICK_DATASETS if quick else FULL_DATASETS
+
+
+def frameworks_for(algorithm: str) -> tuple[str, ...]:
+    return SSWP_FRAMEWORKS if algorithm == "sswp" else TABLE3_FRAMEWORKS

@@ -1,0 +1,109 @@
+"""Public EtaGraph API.
+
+The class-based interface::
+
+    from repro import EtaGraph
+    eta = EtaGraph(graph)                 # graph: repro.graph.CSRGraph
+    result = eta.bfs(source=0)
+    result.labels                          # BFS levels
+    result.total_ms                        # simulated transfer + kernel time
+
+or the one-shot helpers :func:`bfs`, :func:`sssp`, :func:`sswp`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import EtaGraphConfig
+from repro.core.engine import EtaGraphEngine, TraversalResult
+from repro.gpu.device import DeviceSpec, GTX_1080TI
+from repro.graph.csr import CSRGraph
+
+
+class EtaGraph:
+    """User-facing handle: a graph bound to an engine configuration."""
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        config: EtaGraphConfig | None = None,
+        device: DeviceSpec = GTX_1080TI,
+    ):
+        self.graph = graph
+        self.config = config or EtaGraphConfig()
+        self.device = device
+        self._engine = EtaGraphEngine(graph, self.config, device)
+
+    def bfs(self, source: int, target: int | None = None) -> TraversalResult:
+        """Breadth-first search from ``source``; labels are BFS levels.
+
+        With ``target``, the traversal exits early once the target's
+        level is settled (point-to-point reachability query).
+        """
+        return self._engine.run("bfs", source, target=target)
+
+    def shortest_hop_path(self, source: int, target: int) -> list[int]:
+        """A minimum-hop path ``source -> target`` (BFS + parent pointers).
+
+        Raises :class:`repro.algorithms.paths.PathError` if unreachable.
+        """
+        from dataclasses import replace
+
+        from repro.algorithms.paths import reconstruct_path
+
+        engine = EtaGraphEngine(
+            self.graph, replace(self.config, track_parents=True), self.device
+        )
+        result = engine.run("bfs", source, target=target)
+        return reconstruct_path(result.extras["parents"], source, target)
+
+    def sssp(self, source: int) -> TraversalResult:
+        """Single-source shortest paths; requires edge weights."""
+        return self._engine.run("sssp", source)
+
+    def sswp(self, source: int) -> TraversalResult:
+        """Single-source widest paths; requires edge weights."""
+        return self._engine.run("sswp", source)
+
+    def run(self, problem: str, source: int) -> TraversalResult:
+        """Run any registered traversal problem by name."""
+        return self._engine.run(problem, source)
+
+    def reachable_from(self, source: int) -> np.ndarray:
+        """Boolean reachability mask derived from a BFS run."""
+        result = self.bfs(source)
+        return np.isfinite(result.labels)
+
+    def __repr__(self) -> str:
+        return f"EtaGraph({self.graph!r}, K={self.config.degree_limit})"
+
+
+def bfs(
+    graph: CSRGraph,
+    source: int,
+    config: EtaGraphConfig | None = None,
+    device: DeviceSpec = GTX_1080TI,
+) -> TraversalResult:
+    """One-shot BFS via EtaGraph."""
+    return EtaGraph(graph, config, device).bfs(source)
+
+
+def sssp(
+    graph: CSRGraph,
+    source: int,
+    config: EtaGraphConfig | None = None,
+    device: DeviceSpec = GTX_1080TI,
+) -> TraversalResult:
+    """One-shot SSSP via EtaGraph."""
+    return EtaGraph(graph, config, device).sssp(source)
+
+
+def sswp(
+    graph: CSRGraph,
+    source: int,
+    config: EtaGraphConfig | None = None,
+    device: DeviceSpec = GTX_1080TI,
+) -> TraversalResult:
+    """One-shot SSWP via EtaGraph."""
+    return EtaGraph(graph, config, device).sswp(source)

@@ -1,0 +1,103 @@
+"""Active set and virtual active set device buffers (Section IV-A).
+
+The paper tracks active vertices with "a simple device array [using]
+atomic operations to add elements".  This module owns the allocation and
+reuse discipline of those arrays:
+
+* ``act_set`` — at most |V| vertex ids (int32),
+* ``virt_act_set`` — the UDC output, 3 words per entry, sized once at the
+  worst case |V| + |E|/K and reset (not reallocated) each iteration,
+* ``in_frontier`` — one byte per vertex to deduplicate atomic appends.
+
+Keeping the sizes explicit here is what lets the engine's device
+footprint — and the oversubscription behaviour on uk-2006 — emerge from
+real allocations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.udc import worst_case_shadow_count
+from repro.errors import InvalidLaunchError
+from repro.gpu.memory import DeviceArray, DeviceMemory
+from repro.graph.csr import VERTEX_DTYPE
+
+
+class FrontierBuffers:
+    """Device-resident frontier storage for one traversal."""
+
+    def __init__(
+        self,
+        memory: DeviceMemory,
+        num_vertices: int,
+        num_edges: int,
+        degree_limit: int,
+    ):
+        self.num_vertices = num_vertices
+        self.capacity_shadows = worst_case_shadow_count(
+            num_vertices, num_edges, degree_limit
+        )
+        self.act_set: DeviceArray = memory.alloc_empty(
+            "act_set", max(num_vertices, 1), VERTEX_DTYPE
+        )
+        # 3-tuple per shadow vertex: (id, start, end) — Section IV-A.
+        self.virt_act_set: DeviceArray = memory.alloc_empty(
+            "virt_act_set", 3 * self.capacity_shadows, VERTEX_DTYPE
+        )
+        self.in_frontier: DeviceArray = memory.alloc_full(
+            "in_frontier", max(num_vertices, 1), 0, np.uint8
+        )
+        self._current = np.empty(0, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Host-side mirror of the frontier contents
+    # ------------------------------------------------------------------
+
+    @property
+    def active(self) -> np.ndarray:
+        """Vertex ids active in the upcoming iteration."""
+        return self._current
+
+    def seed(self, source: int) -> None:
+        if not 0 <= source < self.num_vertices:
+            raise InvalidLaunchError(
+                f"source {source} out of range [0, {self.num_vertices})"
+            )
+        self._current = np.array([source], dtype=np.int64)
+
+    def seed_many(self, vertices: np.ndarray) -> None:
+        """Seed a multi-source / all-active initial frontier."""
+        vertices = np.asarray(vertices, dtype=np.int64)
+        if len(vertices) and (
+            vertices.min() < 0 or vertices.max() >= self.num_vertices
+        ):
+            raise InvalidLaunchError("seed vertex out of range")
+        if len(vertices) > self.num_vertices:
+            raise InvalidLaunchError("frontier larger than vertex count")
+        self._current = vertices
+
+    def publish(self, updated_vertices: np.ndarray) -> None:
+        """Install the next frontier (the kernel's atomic appends).
+
+        ``updated_vertices`` must already be deduplicated — the engine
+        dedupes through the ``in_frontier`` byte map exactly like the
+        device kernel does.
+        """
+        updated = np.asarray(updated_vertices, dtype=np.int64)
+        if len(updated) > self.num_vertices:
+            raise InvalidLaunchError("frontier larger than vertex count")
+        self._current = updated
+
+    def reset(self) -> None:
+        """Reset between iterations — memory is reused, never reallocated."""
+        self._current = np.empty(0, dtype=np.int64)
+
+    @property
+    def is_empty(self) -> bool:
+        return len(self._current) == 0
+
+    def device_bytes(self) -> int:
+        return (
+            self.act_set.nbytes + self.virt_act_set.nbytes + self.in_frontier.nbytes
+        )

@@ -1,0 +1,105 @@
+"""Batched multi-query traversal.
+
+The paper's related work (Congra, iBFS) studies concurrent graph queries;
+EtaGraph's data layout makes the batch case easy: the topology is placed
+(or prefetched) **once** and every query reuses the resident pages, so
+transfer cost amortizes across the batch.  This module runs a batch of
+sources through one engine setup and reports the amortization explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import EtaGraphConfig, MemoryMode
+from repro.core.engine import EtaGraphEngine, TraversalResult
+from repro.errors import ConfigError
+from repro.gpu.device import DeviceSpec, GTX_1080TI
+from repro.graph.csr import CSRGraph
+
+
+@dataclass
+class BatchResult:
+    """Results of a multi-source batch plus shared-cost accounting."""
+
+    results: list[TraversalResult]
+    #: Topology transfer + UM setup, paid once for the whole batch.
+    shared_setup_ms: float
+    #: Sum of per-query times excluding the shared setup.
+    query_ms: float
+
+    @property
+    def total_ms(self) -> float:
+        return self.shared_setup_ms + self.query_ms
+
+    @property
+    def naive_total_ms(self) -> float:
+        """What running each query standalone would have cost."""
+        return sum(r.total_ms for r in self.results)
+
+    @property
+    def amortization_speedup(self) -> float:
+        return self.naive_total_ms / self.total_ms if self.total_ms else 1.0
+
+    def labels(self, i: int) -> np.ndarray:
+        return self.results[i].labels
+
+
+def run_batch(
+    csr: CSRGraph,
+    sources: list[int] | np.ndarray,
+    problem: str = "bfs",
+    *,
+    config: EtaGraphConfig | None = None,
+    device: DeviceSpec = GTX_1080TI,
+) -> BatchResult:
+    """Run ``problem`` from every source, sharing one topology placement.
+
+    Implementation note: the engine re-places topology per ``run`` call
+    (faithful to standalone use), so the batch accounting subtracts the
+    repeated setup cost analytically — the shared cost is the first
+    query's transfer, and subsequent queries contribute only their
+    kernel + label-initialization time, which is exactly what a
+    resident-topology batch executes.
+    """
+    sources = list(np.asarray(sources, dtype=np.int64))
+    if not sources:
+        raise ConfigError("empty source batch")
+    cfg = config or EtaGraphConfig()
+    engine = EtaGraphEngine(csr, cfg, device)
+
+    results = [engine.run(problem, int(s)) for s in sources]
+
+    first = results[0]
+    # Shared: topology movement (H2D or migrations) + UM registration.
+    topo_bytes = csr.row_offsets.nbytes + csr.column_indices.nbytes
+    if csr.edge_weights is not None and results[0].problem_name != "bfs":
+        topo_bytes += csr.edge_weights.nbytes
+    if cfg.memory_mode is MemoryMode.DEVICE:
+        shared = first.profiler.h2d_time_ms * (
+            topo_bytes / max(first.profiler.h2d_bytes, 1)
+        )
+    else:
+        shared = first.profiler.migration_time_ms \
+            + 3 * device.um_alloc_overhead_us * 1e-3
+
+    query_ms = sum(max(r.total_ms - shared, r.kernel_ms) for r in results)
+    return BatchResult(
+        results=results,
+        shared_setup_ms=shared,
+        query_ms=query_ms,
+    )
+
+
+def pick_sources(
+    csr: CSRGraph, count: int, *, seed: int = 0, min_degree: int = 1
+) -> np.ndarray:
+    """Deterministically sample distinct query sources with out-edges."""
+    eligible = np.flatnonzero(csr.out_degrees() >= min_degree)
+    if len(eligible) == 0:
+        raise ConfigError("no vertices with the required degree")
+    rng = np.random.default_rng(seed)
+    count = min(count, len(eligible))
+    return rng.choice(eligible, size=count, replace=False).astype(np.int64)

@@ -1,0 +1,70 @@
+"""Shared Memory Prefetch planning (Section V-B).
+
+SMP splits the virtual active set into two bins — shadow vertices of
+degree exactly K and those below K — and plans a fixed-length unrolled
+prefetch for each bin: K loads for the first, K-1 for the second.  Fixed
+lengths are what let the compiler fully unroll the load loop; the cost is
+over-fetch for shadows with degree < K-1, which the paper accepts ("more
+data requests are issued ... however, performance actually improves").
+
+This module computes those planned burst lengths (clamped to the end of
+each owner's adjacency so the over-fetch never reads out of bounds — the
+real kernel guards the same way) and the per-block shared-memory budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.udc import ShadowVertices
+
+
+@dataclass(frozen=True)
+class PrefetchPlan:
+    """Planned SMP bursts for one kernel launch."""
+
+    #: Words each thread will prefetch (K or K-1, clamped to the owner's
+    #: remaining adjacency).
+    planned_words: np.ndarray
+    #: How many threads landed in the full-K bin.
+    full_bin_count: int
+    #: Shared-memory words reserved per thread (the bin maximum).
+    words_per_thread: int
+
+    @property
+    def total_prefetch_words(self) -> int:
+        return int(self.planned_words.sum())
+
+    def overfetch_words(self, degrees: np.ndarray) -> int:
+        """Words fetched beyond actual degrees (the accepted waste)."""
+        return int((self.planned_words - np.asarray(degrees)).sum())
+
+
+def plan_prefetch(
+    shadows: ShadowVertices,
+    row_offsets: np.ndarray,
+    degree_limit: int,
+) -> PrefetchPlan:
+    """Split shadows into the K / K-1 bins and size their bursts."""
+    k = int(degree_limit)
+    degrees = shadows.degrees
+    if len(degrees) == 0:
+        return PrefetchPlan(
+            planned_words=np.empty(0, dtype=np.int64),
+            full_bin_count=0,
+            words_per_thread=k,
+        )
+    full = degrees >= k
+    planned = np.where(full, k, max(k - 1, 1)).astype(np.int64)
+    # Clamp each burst to its owner's adjacency end: prefetching past the
+    # slice is allowed (it is the over-fetch), past the owner is not.
+    owner_end = row_offsets[shadows.ids + 1].astype(np.int64)
+    planned = np.minimum(planned, owner_end - shadows.starts)
+    planned = np.maximum(planned, degrees)  # never below the real need
+    return PrefetchPlan(
+        planned_words=planned,
+        full_bin_count=int(full.sum()),
+        words_per_thread=k,
+    )

@@ -1,0 +1,158 @@
+"""Unified Degree Cut (Section III).
+
+UDC maps each active vertex ``v`` with edge set ``E_v`` to a set of
+*shadow vertices* — same vertex id, disjoint consecutive slices of the
+CSR adjacency, each of out-degree <= K (Definition 3).  The transformation
+is *in-core and on the fly*: it consumes nothing but the active set and
+the unmodified CSR row offsets, allocates no per-graph auxiliary arrays
+(that is its advantage over Tigr's VST, Table I) and runs as a small
+per-iteration kernel (``actSet2virtActSet`` in Procedure 1).
+
+Everything here is vectorized: one ``np.repeat`` plus a ragged arange.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.graph.csr import OFFSET_DTYPE, VERTEX_DTYPE
+from repro.utils.ragged import ragged_arange
+
+
+@dataclass(frozen=True)
+class ShadowVertices:
+    """The virtual active set: one entry per shadow vertex.
+
+    Mirrors the paper's 3-tuple layout — ``(ID, Start Index, End Index)``
+    — except the end index is stored as a degree (end = start + degree),
+    which is the same information in the same space.
+    """
+
+    ids: np.ndarray  # original vertex id of each shadow vertex (int32)
+    starts: np.ndarray  # first CSR edge index of the slice (int64)
+    degrees: np.ndarray  # slice length, <= K (int64)
+
+    def __len__(self) -> int:
+        return len(self.ids)
+
+    @property
+    def total_edges(self) -> int:
+        return int(self.degrees.sum())
+
+    def ends(self) -> np.ndarray:
+        """Exclusive end edge-index of each slice (the paper's 3rd field)."""
+        return self.starts + self.degrees
+
+    def validate_against(self, row_offsets: np.ndarray, k: int) -> None:
+        """Check the Definition 3 invariants (used by tests)."""
+        if len(self.ids) == 0:
+            return
+        if self.degrees.max() > k:
+            raise AssertionError("shadow vertex exceeds degree limit")
+        if self.degrees.min() < 1:
+            raise AssertionError("empty shadow vertex")
+        lo = row_offsets[self.ids]
+        hi = row_offsets[self.ids + 1]
+        if np.any(self.starts < lo) or np.any(self.ends() > hi):
+            raise AssertionError("shadow slice escapes its owner's adjacency")
+
+
+def degree_cut(
+    active_vertices: np.ndarray,
+    row_offsets: np.ndarray,
+    degree_limit: int,
+) -> ShadowVertices:
+    """Transform an active set into its virtual active set.
+
+    Vertices with out-degree 0 produce no shadow vertices — the natural
+    filtering the paper highlights ("all the invoked GPU threads are doing
+    useful work").  A vertex with out-degree <= K is its own single shadow
+    vertex (Fig. 3's vertex 4); larger vertices are cut into
+    ``ceil(degree / K)`` shadows over disjoint slices (Fig. 3's vertex 1).
+    """
+    if degree_limit < 1:
+        raise ConfigError(f"degree_limit must be >= 1, got {degree_limit}")
+    active = np.asarray(active_vertices, dtype=np.int64)
+    if len(active) == 0:
+        return _empty()
+
+    first_edge = row_offsets[active].astype(np.int64)
+    degrees = row_offsets[active + 1].astype(np.int64) - first_edge
+    parts = -(-degrees // degree_limit)  # ceil; 0 for degree-0 vertices
+
+    n_shadow = int(parts.sum())
+    if n_shadow == 0:
+        return _empty()
+
+    ids = np.repeat(active, parts).astype(VERTEX_DTYPE)
+    within = ragged_arange(parts)
+    starts = np.repeat(first_edge, parts) + within * degree_limit
+    ends = np.minimum(starts + degree_limit, np.repeat(first_edge + degrees, parts))
+    return ShadowVertices(ids=ids, starts=starts, degrees=ends - starts)
+
+
+def _empty() -> ShadowVertices:
+    return ShadowVertices(
+        ids=np.empty(0, dtype=VERTEX_DTYPE),
+        starts=np.empty(0, dtype=np.int64),
+        degrees=np.empty(0, dtype=np.int64),
+    )
+
+
+class ShadowTable:
+    """Out-of-core UDC: shadow vertices for *all* vertices, precomputed.
+
+    Section III-A's alternative placement of the transformation: instead
+    of cutting the active set on the fly each iteration, cut everything
+    once at load time and keep a device-resident table.  Selection per
+    iteration then reduces to a gather over per-vertex ranges.  The cost
+    is the table itself — ``3|N| + 2|V|`` extra words, which is exactly
+    the space UDC's in-core default exists to avoid (cf. VST in Table I).
+    """
+
+    def __init__(self, row_offsets: np.ndarray, degree_limit: int):
+        num_vertices = len(row_offsets) - 1
+        self.degree_limit = int(degree_limit)
+        self.all = degree_cut(
+            np.arange(num_vertices, dtype=np.int64), row_offsets, degree_limit
+        )
+        counts = np.bincount(
+            self.all.ids.astype(np.int64), minlength=num_vertices
+        )
+        first = np.zeros(num_vertices + 1, dtype=np.int64)
+        np.cumsum(counts, out=first[1:])
+        self.first_shadow = first[:-1]
+        self.shadow_count = counts.astype(np.int64)
+
+    def __len__(self) -> int:
+        return len(self.all)
+
+    def select(self, active_vertices: np.ndarray) -> ShadowVertices:
+        """Shadow vertices of the given active set (a range gather)."""
+        active = np.asarray(active_vertices, dtype=np.int64)
+        counts = self.shadow_count[active]
+        idx = np.repeat(self.first_shadow[active], counts) + ragged_arange(counts)
+        return ShadowVertices(
+            ids=self.all.ids[idx],
+            starts=self.all.starts[idx],
+            degrees=self.all.degrees[idx],
+        )
+
+    def table_words(self) -> int:
+        """Device words the precomputed table occupies (3|N| + 2|V|)."""
+        return 3 * len(self.all) + 2 * len(self.shadow_count)
+
+
+def worst_case_shadow_count(num_vertices: int, num_edges: int, k: int) -> int:
+    """Upper bound on |virtual active set| for sizing its device buffer.
+
+    Every vertex contributes at most ``ceil(d/K) <= 1 + d/K`` shadows, so
+    the bound is ``|V| + |E| / K``.  EtaGraph allocates the buffer once at
+    this size and reuses it every iteration (Section IV-A).
+    """
+    if k < 1:
+        raise ConfigError(f"degree_limit must be >= 1, got {k}")
+    return int(num_vertices + num_edges // k + 1)

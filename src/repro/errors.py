@@ -1,0 +1,58 @@
+"""Exception taxonomy for the EtaGraph reproduction.
+
+Every failure mode that the paper's evaluation observes (most notably the
+``O.O.M`` entries of Table III) is surfaced as a typed exception so that the
+benchmark harness can report it the same way the paper does.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class GraphFormatError(ReproError):
+    """Raised when graph input data is malformed (bad CSR, negative ids, ...)."""
+
+
+class DatasetError(ReproError):
+    """Raised when a surrogate dataset cannot be produced or validated."""
+
+
+class DeviceError(ReproError):
+    """Base class for simulated-GPU errors."""
+
+
+class DeviceOutOfMemoryError(DeviceError):
+    """Simulated analogue of ``cudaErrorMemoryAllocation``.
+
+    Raised by :class:`repro.gpu.memory.DeviceMemory` when a non-UM allocation
+    would exceed device capacity.  The benchmark runner converts this into the
+    ``O.O.M`` cells of Table III.
+    """
+
+    def __init__(self, requested: int, in_use: int, capacity: int):
+        self.requested = int(requested)
+        self.in_use = int(in_use)
+        self.capacity = int(capacity)
+        super().__init__(
+            f"device OOM: requested {requested} B with {in_use} B in use "
+            f"of {capacity} B capacity"
+        )
+
+
+class InvalidLaunchError(DeviceError):
+    """Raised for malformed kernel launches (zero threads, oversized block...)."""
+
+
+class AllocationError(DeviceError):
+    """Raised when using a freed or foreign allocation handle."""
+
+
+class ConfigError(ReproError):
+    """Raised for invalid framework configuration (e.g. K < 1)."""
+
+
+class ConvergenceError(ReproError):
+    """Raised when a traversal fails to converge within its iteration budget."""

@@ -1,0 +1,31 @@
+"""Simulated GPU execution model.
+
+This package stands in for the paper's GTX 1080 Ti + CUDA runtime.  It is
+an *execution-model* simulator, not a cycle-accurate one: it counts the
+events that determine graph-traversal performance (warp lockstep work,
+coalesced memory transactions, cache hits, DRAM/PCIe bytes, unified-memory
+page migrations) and converts them to time with a roofline-style cost
+model.  Every counter `nvprof` reports in the paper's Fig. 7 is collected
+by :mod:`repro.gpu.profiler`.
+"""
+
+from repro.gpu.device import DeviceSpec, GTX_1080TI
+from repro.gpu.memory import DeviceMemory, DeviceArray
+from repro.gpu.profiler import Profiler, KernelCounters
+from repro.gpu.cache import ReuseWindowCache, ExactLRUCache, CacheHierarchy
+from repro.gpu.um import UnifiedMemoryManager
+from repro.gpu.timeline import Timeline
+
+__all__ = [
+    "DeviceSpec",
+    "GTX_1080TI",
+    "DeviceMemory",
+    "DeviceArray",
+    "Profiler",
+    "KernelCounters",
+    "ReuseWindowCache",
+    "ExactLRUCache",
+    "CacheHierarchy",
+    "UnifiedMemoryManager",
+    "Timeline",
+]

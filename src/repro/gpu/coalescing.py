@@ -1,0 +1,142 @@
+"""Memory-coalescing model: warp accesses -> 32-byte sector transactions.
+
+Section V-A of the paper: "memory requests from a warp are transformed
+into cache line requests with a size of 32B".  A warp instruction that
+reads 32 scattered 4-byte values therefore costs up to 32 transactions,
+while a contiguous 128-byte read costs 4.
+
+The central primitive here is :func:`coalesce`: given per-access byte
+addresses and an integer *group key* identifying which accesses are issued
+simultaneously (same warp, same step — or same warp for an unrolled SMP
+burst), it returns one representative sector per transaction.  Everything
+is one ``np.unique`` over a packed 64-bit key, so tracing millions of edge
+accesses stays cheap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Bits reserved for the sector id inside the packed (group, sector) key.
+#: 2**38 sectors * 32 B = 8 TiB of address space — far beyond any
+#: simulated allocation.
+_SECTOR_BITS = 38
+_SECTOR_MASK = (1 << _SECTOR_BITS) - 1
+
+
+def sector_of(addresses: np.ndarray, sector_bytes: int = 32) -> np.ndarray:
+    """Sector id for each byte address."""
+    return np.asarray(addresses, dtype=np.int64) // sector_bytes
+
+
+def coalesce(
+    addresses: np.ndarray,
+    group_keys: np.ndarray,
+    sector_bytes: int = 32,
+) -> np.ndarray:
+    """Coalesce simultaneous accesses into unique sector transactions.
+
+    Parameters
+    ----------
+    addresses:
+        Byte address of every individual access.
+    group_keys:
+        Same-length int array; accesses sharing a key are issued by the
+        same warp in the same cycle and may be merged by the coalescer.
+
+    Returns
+    -------
+    The sector ids of the resulting transactions, ordered by
+    ``(group, sector)`` — i.e. roughly in issue order.  ``len(result)`` is
+    the transaction count; the array doubles as the access stream fed to
+    the cache model.
+    """
+    addresses = np.asarray(addresses, dtype=np.int64)
+    group_keys = np.asarray(group_keys, dtype=np.int64)
+    if addresses.shape != group_keys.shape:
+        raise ValueError(
+            f"addresses/group_keys shape mismatch: "
+            f"{addresses.shape} vs {group_keys.shape}"
+        )
+    if len(addresses) == 0:
+        return np.empty(0, dtype=np.int64)
+    sectors = addresses // sector_bytes
+    if sectors.max() > _SECTOR_MASK:
+        raise ValueError("address exceeds simulated address space")
+    packed = (group_keys << _SECTOR_BITS) | sectors
+    unique = np.unique(packed)
+    return unique & _SECTOR_MASK
+
+
+def warp_ids(n_threads: int, warp_size: int = 32) -> np.ndarray:
+    """Warp index of each thread in a flat 1-thread-per-item launch."""
+    return np.arange(n_threads, dtype=np.int64) // warp_size
+
+
+def strided_group_keys(
+    thread_ids: np.ndarray, steps: np.ndarray, warp_size: int = 32
+) -> np.ndarray:
+    """Group key for "lane ``t`` issues its ``step``-th access": accesses
+    of the same warp at the same loop step coalesce together.
+
+    This is the access pattern of a *non*-SMP vertex-centric kernel: at
+    loop step ``s`` every lane reads its own adjacency slot ``s`` —
+    simultaneous but scattered.
+
+    Keys are **step-major**: all warps' step-``s`` accesses precede any
+    warp's step ``s+1``.  Since :func:`coalesce` orders the resulting
+    transaction stream by key, this models warp interleaving on the SMs —
+    a warp's consecutive loop iterations are separated by every other
+    resident warp's accesses, which is precisely the cache-thrash
+    mechanism of Section V-A (lines evicted before step-to-step reuse).
+    """
+    thread_ids = np.asarray(thread_ids, dtype=np.int64)
+    steps = np.asarray(steps, dtype=np.int64)
+    if len(thread_ids) == 0:
+        return np.empty(0, dtype=np.int64)
+    num_warps = int(thread_ids.max()) // warp_size + 1
+    return steps * num_warps + (thread_ids // warp_size)
+
+
+def burst_group_keys(
+    thread_ids: np.ndarray, warp_size: int = 32
+) -> np.ndarray:
+    """Group key for an unrolled SMP burst: *all* of a warp's prefetch
+    loads are in flight together, so the coalescer may merge across both
+    lanes and steps (Section V-B)."""
+    return np.asarray(thread_ids, dtype=np.int64) // warp_size
+
+
+def contiguous_run_sectors(
+    start_addresses: np.ndarray,
+    lengths_bytes: np.ndarray,
+    group_keys: np.ndarray,
+    sector_bytes: int = 32,
+) -> np.ndarray:
+    """Transactions for per-lane *contiguous* reads of given byte lengths.
+
+    Equivalent to expanding every byte range into word accesses and
+    calling :func:`coalesce`, but computed per run: a contiguous run of
+    ``L`` bytes starting at ``a`` touches sectors ``a//32 .. (a+L-1)//32``.
+    Used for SMP adjacency bursts, where each lane reads its whole CSR
+    slice front-to-back.
+    """
+    start = np.asarray(start_addresses, dtype=np.int64)
+    length = np.asarray(lengths_bytes, dtype=np.int64)
+    group = np.asarray(group_keys, dtype=np.int64)
+    if not (len(start) == len(length) == len(group)):
+        raise ValueError("start/length/group length mismatch")
+    nonzero = length > 0
+    start, length, group = start[nonzero], length[nonzero], group[nonzero]
+    if len(start) == 0:
+        return np.empty(0, dtype=np.int64)
+    first = start // sector_bytes
+    last = (start + length - 1) // sector_bytes
+    counts = (last - first + 1).astype(np.int64)
+    from repro.utils.ragged import ragged_arange
+
+    sectors = np.repeat(first, counts) + ragged_arange(counts)
+    groups = np.repeat(group, counts)
+    packed = (groups << _SECTOR_BITS) | sectors
+    unique = np.unique(packed)
+    return unique & _SECTOR_MASK

@@ -1,0 +1,151 @@
+"""Device specification and cost-model constants.
+
+One place holds every calibration constant of the simulator (DESIGN.md
+section 6).  The preset mirrors the paper's evaluation hardware: an NVIDIA
+GTX 1080 Ti attached over PCIe 3.0 x16 to a dual-socket Xeon host.  These
+constants are set once, globally — never tuned per experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.utils.units import GIB, KIB, MIB
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static description of a simulated GPU and its cost model."""
+
+    name: str
+
+    # --- execution resources -----------------------------------------
+    num_sms: int = 28
+    cores_per_sm: int = 128
+    warp_size: int = 32
+    clock_ghz: float = 1.48
+    max_warps_per_sm: int = 64
+    max_threads_per_block: int = 1024
+
+    # --- memory hierarchy ---------------------------------------------
+    memory_capacity: int = 11 * GIB
+    sector_bytes: int = 32
+    unified_cache_bytes: int = 48 * KIB  # per SM (L1 + texture, Pascal)
+    l2_cache_bytes: int = 2816 * KIB
+    shared_mem_bytes_per_sm: int = 96 * KIB
+    dram_bandwidth_gbps: float = 484.0
+    l2_bandwidth_gbps: float = 1300.0
+    unified_cache_bandwidth_gbps: float = 3500.0
+    dram_latency_cycles: int = 400
+    l2_latency_cycles: int = 200
+    unified_cache_latency_cycles: int = 30
+    shared_mem_latency_cycles: int = 25
+
+    # --- host link / unified memory ------------------------------------
+    pcie_bandwidth_gbps: float = 12.0
+    pcie_latency_us: float = 8.0
+    page_bytes: int = 4 * KIB
+    #: Per-migration driver overhead.  Calibrated from the paper's Table V:
+    #: on-demand UM moves ~44 KiB chunks at a mildly degraded effective
+    #: throughput vs prefetch, implying a few microseconds per fault batch.
+    um_fault_latency_us: float = 5.0
+    #: Per-4KiB-page handling cost on the on-demand path (unmap, TLB
+    #: shootdown, page-table update).  This is what makes the ~44 KiB
+    #: fault-merged migrations of Table V slower per byte than the 2 MiB
+    #: prefetch chunks, and hence UMP profitable on full traversals.
+    um_page_handling_us: float = 0.4
+    um_max_migration_bytes: int = 1 * MIB
+    um_prefetch_chunk_bytes: int = 2 * MIB
+    #: One-time cost of creating/registering a managed allocation
+    #: (``cudaMallocManaged`` page-table setup) — why tiny graphs don't
+    #: benefit from UM (the paper's Slashdot case).
+    um_alloc_overhead_us: float = 40.0
+
+    # --- kernel cost model ----------------------------------------------
+    kernel_launch_us: float = 6.0
+    #: Warps an SM can interleave to hide memory latency; stalls are
+    #: divided by min(resident warps, this).
+    latency_hiding_warps: int = 12
+    #: Memory-level parallelism of the unrolled SMP load burst vs the
+    #: one-load-per-loop-iteration baseline.
+    smp_mlp: float = 3.2
+    base_mlp: float = 1.6
+    #: Cache-window contention divisor: concurrent warps thrash the
+    #: caches, shrinking the effective reuse window (Section V-A).
+    cache_contention: float = 48.0
+
+    # ------------------------------------------------------------------
+    # Derived helpers
+    # ------------------------------------------------------------------
+
+    @property
+    def clock_hz(self) -> float:
+        return self.clock_ghz * 1e9
+
+    def cycles_to_ms(self, cycles: float) -> float:
+        return cycles / self.clock_hz * 1e3
+
+    def ms_to_cycles(self, ms: float) -> float:
+        return ms * 1e-3 * self.clock_hz
+
+    def bytes_time_ms(self, nbytes: float, bandwidth_gbps: float) -> float:
+        """Time to move ``nbytes`` at ``bandwidth_gbps`` (decimal GB/s)."""
+        return nbytes / (bandwidth_gbps * 1e9) * 1e3
+
+    def dram_time_ms(self, nbytes: float) -> float:
+        return self.bytes_time_ms(nbytes, self.dram_bandwidth_gbps)
+
+    def l2_time_ms(self, nbytes: float) -> float:
+        return self.bytes_time_ms(nbytes, self.l2_bandwidth_gbps)
+
+    def pcie_time_ms(self, nbytes: float) -> float:
+        return self.pcie_latency_us * 1e-3 + self.bytes_time_ms(
+            nbytes, self.pcie_bandwidth_gbps
+        )
+
+    def with_capacity(self, capacity_bytes: int) -> "DeviceSpec":
+        """The same device with a different memory capacity.
+
+        The benchmark harness scales capacity by the dataset scale factor
+        so footprint/capacity ratios — and hence the O.O.M pattern of
+        Table III — match the paper's full-size setup.
+        """
+        return replace(self, memory_capacity=int(capacity_bytes))
+
+    @property
+    def total_unified_cache_bytes(self) -> int:
+        return self.unified_cache_bytes * self.num_sms
+
+
+#: The paper's evaluation GPU.
+GTX_1080TI = DeviceSpec(name="GTX 1080 Ti")
+
+#: Tesla V100 (the "high-end computing card" of the paper's introduction:
+#: 16 GB HBM2, more SMs, ~900 GB/s) — for capacity-sensitivity studies.
+TESLA_V100 = DeviceSpec(
+    name="Tesla V100",
+    num_sms=80,
+    cores_per_sm=64,
+    clock_ghz=1.53,
+    memory_capacity=16 * GIB,
+    l2_cache_bytes=6 * MIB,
+    shared_mem_bytes_per_sm=96 * KIB,
+    dram_bandwidth_gbps=900.0,
+    l2_bandwidth_gbps=2500.0,
+)
+
+#: An older Kepler-class card (K40-like): no UM page faulting in hardware,
+#: smaller caches — useful for showing where the paper's techniques need
+#: Pascal+ features.
+TESLA_K40 = DeviceSpec(
+    name="Tesla K40",
+    num_sms=15,
+    cores_per_sm=192,
+    clock_ghz=0.745,
+    memory_capacity=12 * GIB,
+    l2_cache_bytes=1536 * KIB,
+    unified_cache_bytes=48 * KIB,
+    shared_mem_bytes_per_sm=48 * KIB,
+    dram_bandwidth_gbps=288.0,
+    l2_bandwidth_gbps=800.0,
+)

@@ -1,0 +1,479 @@
+"""Kernel cost model: traversal kernels on the simulated GPU.
+
+:func:`simulate_vertex_kernel` models one launch of a vertex-centric
+traversal kernel (one thread per work item, each scanning <= its item's
+degree of adjacency).  It is parametrized enough to express every engine
+in this repo:
+
+* EtaGraph's shadow-vertex kernel (``smp`` on/off, bounded degrees),
+* Tigr's virtual-node kernel (``idle_threads`` for inactive flag checks),
+* Gunrock's advance (``balanced_issue`` for merge-based load balancing),
+* the naive vertex-centric baseline (unbounded degrees, lockstep max).
+
+:func:`simulate_streaming_kernel` models CuSha-style edge-centric passes
+whose reads are coalesced sequential streams.
+
+Cost model (DESIGN.md section 5): per-warp issue cycles follow SIMT
+lockstep (max over lanes); memory transactions come from the coalescing
+model and are filtered through the cache hierarchy; stall cycles are
+transactions x miss latency, divided by memory-level parallelism and
+latency-hiding warps; kernel time is a roofline over compute, L2 and DRAM
+bandwidth plus a fixed launch overhead.
+
+Large launches are *warp-sampled*: whole warps are traced exactly and the
+resulting counts rescaled, preserving intra-warp coalescing statistics at
+bounded simulation cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import InvalidLaunchError
+from repro.gpu import coalescing, sharedmem, warp as warpmod
+from repro.gpu.cache import CacheHierarchy
+from repro.gpu.device import DeviceSpec
+from repro.gpu.memory import DeviceArray
+from repro.gpu.profiler import KernelCounters
+from repro.utils.ragged import ragged_arange
+
+#: Maximum traced edge accesses per launch before warp sampling kicks in.
+TRACE_CAP = 400_000
+
+
+@dataclass(frozen=True)
+class KernelTiming:
+    """Timing breakdown of one simulated kernel launch."""
+
+    time_ms: float
+    compute_ms: float
+    dram_ms: float
+    l2_ms: float
+    launch_ms: float
+    counters: KernelCounters
+
+    @property
+    def bound_by(self) -> str:
+        best = max(
+            ("compute", self.compute_ms),
+            ("dram", self.dram_ms),
+            ("l2", self.l2_ms),
+            key=lambda kv: kv[1],
+        )
+        return best[0]
+
+
+def _finalize(
+    spec: DeviceSpec,
+    *,
+    threads: int,
+    warps: int,
+    instructions: float,
+    sm_cycles_max: float,
+    hier_result,
+    extra_dram_write_bytes: float,
+    load_transactions: float,
+    store_transactions: float,
+    shared_load_bytes: float = 0.0,
+) -> KernelTiming:
+    """Roofline combination + counter assembly shared by all kernels."""
+    compute_ms = spec.cycles_to_ms(sm_cycles_max)
+    dram_bytes = hier_result.dram_bytes + extra_dram_write_bytes
+    dram_ms = spec.dram_time_ms(dram_bytes)
+    l2_ms = spec.l2_time_ms(hier_result.l2_accesses * spec.sector_bytes)
+    launch_ms = spec.kernel_launch_us * 1e-3
+    time_ms = launch_ms + max(compute_ms, dram_ms, l2_ms)
+
+    counters = KernelCounters(
+        launches=1,
+        threads=int(threads),
+        warps=int(warps),
+        instructions=float(instructions),
+        cycles=spec.ms_to_cycles(time_ms),
+        elapsed_ms=time_ms,
+        global_load_transactions=int(load_transactions),
+        global_store_transactions=int(store_transactions),
+        unified_cache_accesses=int(hier_result.accesses),
+        unified_cache_hits=int(hier_result.unified_hits),
+        l2_accesses=int(hier_result.l2_accesses),
+        l2_hits=int(hier_result.l2_hits),
+        dram_read_bytes=float(hier_result.dram_bytes),
+        dram_write_bytes=float(extra_dram_write_bytes),
+        shared_load_bytes=float(shared_load_bytes),
+    )
+    return KernelTiming(
+        time_ms=time_ms,
+        compute_ms=compute_ms,
+        dram_ms=dram_ms,
+        l2_ms=l2_ms,
+        launch_ms=launch_ms,
+        counters=counters,
+    )
+
+
+@dataclass
+class _ScaledHierarchyResult:
+    accesses: float
+    unified_hits: float
+    l2_accesses: float
+    l2_hits: float
+    dram_transactions: float
+
+    @property
+    def dram_bytes(self) -> float:
+        return self.dram_transactions * 32
+
+
+def simulate_vertex_kernel(
+    spec: DeviceSpec,
+    caches: CacheHierarchy,
+    *,
+    starts: np.ndarray,
+    degrees: np.ndarray,
+    adj_array: DeviceArray,
+    neighbor_ids: np.ndarray,
+    label_array: DeviceArray,
+    weight_array: DeviceArray | None = None,
+    meta_array: DeviceArray | None = None,
+    meta_words_per_thread: int = 0,
+    smp: bool = False,
+    smp_planned_words: np.ndarray | None = None,
+    degree_limit: int | None = None,
+    updates: int = 0,
+    balanced_issue: bool = False,
+    instr_base: float = 24.0,
+    instr_per_edge: float = 8.0,
+    idle_threads: int = 0,
+    idle_instr: float = 6.0,
+    threads_per_block: int = 256,
+) -> KernelTiming:
+    """Simulate one vertex-centric traversal kernel launch.
+
+    Parameters
+    ----------
+    starts, degrees:
+        Per-thread first edge index into ``adj_array`` and edge count.
+    neighbor_ids:
+        Destination vertex ids of all scanned edges, concatenated in
+        thread order (``len == degrees.sum()``); their label-array
+        addresses form the scattered access stream.
+    smp:
+        Shared Memory Prefetch: adjacency (and weight) reads become
+        per-lane contiguous unrolled bursts; processing reads then hit
+        shared memory.  Requires ``degree_limit``.
+    smp_planned_words:
+        Per-thread burst length in words when it exceeds the actual
+        degree (the K / K-1 bin over-fetch of Section V-B).  Defaults to
+        the actual degrees.
+    idle_threads:
+        Additional launched threads that only perform an activity check
+        and exit (Tigr's inactive virtual nodes).
+    updates:
+        Number of label updates performed (scattered stores + atomic
+        frontier appends).
+    """
+    starts = np.asarray(starts, dtype=np.int64)
+    degrees = np.asarray(degrees, dtype=np.int64)
+    if len(starts) != len(degrees):
+        raise InvalidLaunchError("starts/degrees length mismatch")
+    if smp and degree_limit is None:
+        raise InvalidLaunchError("SMP requires a degree_limit")
+    n_threads = len(starts)
+    if n_threads == 0 and idle_threads == 0:
+        raise InvalidLaunchError("empty kernel launch")
+    total_edges = int(degrees.sum())
+    if len(neighbor_ids) != total_edges:
+        raise InvalidLaunchError(
+            f"neighbor_ids has {len(neighbor_ids)} entries, expected {total_edges}"
+        )
+    warp_size = spec.warp_size
+
+    # ------------------------------------------------------------------
+    # Warp sampling for very large launches
+    # ------------------------------------------------------------------
+    scale = 1.0
+    if total_edges > TRACE_CAP and n_threads > warp_size:
+        n_warps_all = -(-n_threads // warp_size)
+        stride = max(1, int(np.ceil(total_edges / TRACE_CAP)))
+        thread_ids = np.arange(n_threads)
+        keep = (thread_ids // warp_size) % stride == 0
+        kept_edges = int(degrees[keep].sum())
+        if kept_edges > 0:
+            edge_keep = np.repeat(keep, degrees)
+            starts, degrees = starts[keep], degrees[keep]
+            neighbor_ids = np.asarray(neighbor_ids)[edge_keep]
+            if smp_planned_words is not None:
+                smp_planned_words = np.asarray(smp_planned_words)[keep]
+            scale = total_edges / kept_edges
+            n_threads = len(starts)
+            del edge_keep
+        del thread_ids, keep
+
+    sampled_edges = int(degrees.sum())
+    n_warps = -(-max(n_threads, 1) // warp_size)
+    thread_ids = np.arange(n_threads, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Memory transactions
+    # ------------------------------------------------------------------
+    streams: list[np.ndarray] = []
+
+    # Frontier / virtual-active-set metadata: consecutive threads read
+    # consecutive entries -> fully coalesced.
+    if meta_array is not None and meta_words_per_thread > 0 and n_threads:
+        meta_starts = meta_array.base_address + thread_ids * (
+            meta_words_per_thread * meta_array.itemsize
+        )
+        meta_len = np.full(
+            n_threads, meta_words_per_thread * meta_array.itemsize, dtype=np.int64
+        )
+        streams.append(
+            coalescing.contiguous_run_sectors(
+                meta_starts, meta_len, coalescing.burst_group_keys(thread_ids),
+                spec.sector_bytes,
+            )
+        )
+
+    # Adjacency (and weights): contiguous per lane.
+    itemsize = adj_array.itemsize
+    if sampled_edges:
+        if smp:
+            # Unrolled burst: the whole warp's prefetch loads coalesce.
+            # The burst length is the *planned* K / K-1 bin size, which
+            # may over-fetch beyond the actual slice (Section V-B).
+            burst_words = (
+                np.asarray(smp_planned_words, dtype=np.int64)
+                if smp_planned_words is not None
+                else degrees
+            )
+            adj_streams = coalescing.contiguous_run_sectors(
+                adj_array.addresses_of(starts),
+                burst_words * itemsize,
+                coalescing.burst_group_keys(thread_ids),
+                spec.sector_bytes,
+            )
+            streams.append(adj_streams)
+            if weight_array is not None:
+                streams.append(
+                    coalescing.contiguous_run_sectors(
+                        weight_array.addresses_of(starts),
+                        burst_words * weight_array.itemsize,
+                        coalescing.burst_group_keys(thread_ids),
+                        spec.sector_bytes,
+                    )
+                )
+        else:
+            # One scattered warp access per loop step.
+            steps = ragged_arange(degrees)
+            edge_thread = np.repeat(thread_ids, degrees)
+            keys = coalescing.strided_group_keys(edge_thread, steps, warp_size)
+            edge_idx = np.repeat(starts, degrees) + steps
+            streams.append(
+                coalescing.coalesce(
+                    adj_array.addresses_of(edge_idx), keys, spec.sector_bytes
+                )
+            )
+            if weight_array is not None:
+                streams.append(
+                    coalescing.coalesce(
+                        weight_array.addresses_of(edge_idx), keys, spec.sector_bytes
+                    )
+                )
+
+        # Label gathers: scattered by destination id; one per step in both
+        # modes (SMP prefetches topology, not labels).
+        steps = ragged_arange(degrees)
+        edge_thread = np.repeat(thread_ids, degrees)
+        keys = coalescing.strided_group_keys(edge_thread, steps, warp_size)
+        streams.append(
+            coalescing.coalesce(
+                label_array.addresses_of(np.asarray(neighbor_ids, dtype=np.int64)),
+                keys,
+                spec.sector_bytes,
+            )
+        )
+
+    # Idle threads (Tigr): one coalesced activity-flag word each.
+    if idle_threads:
+        idle_ids = np.arange(idle_threads, dtype=np.int64)
+        streams.append(
+            coalescing.contiguous_run_sectors(
+                label_array.base_address + idle_ids * 4,
+                np.full(idle_threads, 4, dtype=np.int64),
+                coalescing.burst_group_keys(idle_ids) + (1 << 20),
+                spec.sector_bytes,
+            )
+        )
+
+    stream = np.concatenate(streams) if streams else np.empty(0, dtype=np.int64)
+    hier = caches.access(stream)
+    load_transactions = len(stream) * scale
+    hier_scaled = _ScaledHierarchyResult(
+        accesses=hier.accesses * scale,
+        unified_hits=hier.unified_hits * scale,
+        l2_accesses=hier.l2_accesses * scale,
+        l2_hits=hier.l2_hits * scale,
+        dram_transactions=hier.dram_transactions * scale,
+    )
+
+    # ------------------------------------------------------------------
+    # Instruction / cycle model
+    # ------------------------------------------------------------------
+    if smp:
+        # Unrolling removes per-iteration loop overhead; prefetch adds a
+        # shared-memory store per edge.
+        eff_instr_per_edge = max(2.0, instr_per_edge - 3.0) + 1.0
+    else:
+        eff_instr_per_edge = instr_per_edge
+    lane_instr = instr_base + degrees.astype(np.float64) * eff_instr_per_edge
+    if n_threads:
+        if balanced_issue:
+            warp_issue = warpmod.per_warp_sum(lane_instr, warp_size) / warp_size \
+                + instr_base
+        else:
+            warp_issue = warpmod.per_warp_max(lane_instr, warp_size)
+        warp_edges = warpmod.per_warp_sum(degrees.astype(np.float64), warp_size)
+    else:
+        warp_issue = np.zeros(0)
+        warp_edges = np.zeros(0)
+
+    # Occupancy / latency hiding.
+    shared_per_block = (
+        sharedmem.smp_shared_bytes_per_block(threads_per_block, degree_limit)
+        if smp
+        else 0
+    )
+    occ = sharedmem.occupancy(spec, threads_per_block, shared_per_block)
+    hiding = min(occ.warps_per_sm, spec.latency_hiding_warps)
+    mlp = spec.smp_mlp if smp else spec.base_mlp
+
+    if hier_scaled.accesses > 0:
+        avg_latency = (
+            hier_scaled.unified_hits * spec.unified_cache_latency_cycles
+            + hier_scaled.l2_hits * spec.l2_latency_cycles
+            + hier_scaled.dram_transactions * spec.dram_latency_cycles
+        ) / hier_scaled.accesses
+    else:
+        avg_latency = 0.0
+    total_stall = (hier_scaled.accesses / scale) * avg_latency / (mlp * hiding)
+    if sampled_edges > 0:
+        warp_stall = total_stall * warp_edges / sampled_edges
+    else:
+        warp_stall = np.full_like(warp_issue, total_stall / max(len(warp_issue), 1))
+
+    warp_cycles = warp_issue + warp_stall
+    sm_cycles = warpmod.assign_warps_to_sms(warp_cycles, spec.num_sms) * scale
+    sm_cycles_max = float(sm_cycles.max()) if len(sm_cycles) else 0.0
+
+    # Idle-thread analytic contribution, spread evenly over SMs.
+    idle_cycles = 0.0
+    if idle_threads:
+        idle_warps = -(-idle_threads // warp_size)
+        idle_cycles = idle_warps * idle_instr / spec.num_sms
+        sm_cycles_max += idle_cycles
+
+    instructions = (
+        float(lane_instr.sum()) * scale + idle_threads * idle_instr
+        + updates * 6.0  # atomicMin + frontier append
+    )
+    store_transactions = updates
+    dram_write_bytes = updates * spec.sector_bytes
+    shared_load_bytes = float(sampled_edges) * scale * 4.0 if smp else 0.0
+
+    return _finalize(
+        spec,
+        threads=(n_threads * scale) + idle_threads,
+        warps=n_warps * scale + (-(-idle_threads // warp_size)),
+        instructions=instructions,
+        sm_cycles_max=sm_cycles_max,
+        hier_result=hier_scaled,
+        extra_dram_write_bytes=dram_write_bytes,
+        load_transactions=load_transactions,
+        store_transactions=store_transactions,
+        shared_load_bytes=shared_load_bytes,
+    )
+
+
+def simulate_streaming_kernel(
+    spec: DeviceSpec,
+    caches: CacheHierarchy,
+    *,
+    read_bytes: float,
+    write_bytes: float,
+    n_threads: int,
+    instr_per_thread: float = 12.0,
+    scattered_read_words: int = 0,
+    scatter_base_address: int = 0,
+    scatter_indices: np.ndarray | None = None,
+    threads_per_block: int = 256,
+) -> KernelTiming:
+    """Simulate an edge-centric streaming pass (CuSha shards, compaction).
+
+    Sequential streams are perfectly coalesced: ``read_bytes / 32``
+    transactions with no reuse (they are modelled as cold DRAM reads —
+    streaming data is evicted long before any revisit).  An optional
+    scattered-gather component (``scatter_indices`` into a value array)
+    goes through the cache hierarchy like any other random stream.
+    """
+    if n_threads < 1:
+        raise InvalidLaunchError("empty kernel launch")
+    stream_transactions = int(np.ceil(read_bytes / spec.sector_bytes))
+
+    scatter_trans = 0
+    hier = None
+    if scatter_indices is not None and len(scatter_indices):
+        idx = np.asarray(scatter_indices, dtype=np.int64)
+        cap = TRACE_CAP
+        s_scale = 1.0
+        if len(idx) > cap:
+            stride = int(np.ceil(len(idx) / cap))
+            idx = idx[::stride]
+            s_scale = float(len(scatter_indices)) / len(idx)
+        keys = np.arange(len(idx), dtype=np.int64) // spec.warp_size
+        sectors = coalescing.coalesce(
+            scatter_base_address + idx * 4, keys, spec.sector_bytes
+        )
+        raw = caches.access(sectors)
+        scatter_trans = len(sectors) * s_scale
+        hier = _ScaledHierarchyResult(
+            accesses=raw.accesses * s_scale + stream_transactions,
+            unified_hits=raw.unified_hits * s_scale,
+            l2_accesses=raw.l2_accesses * s_scale + stream_transactions,
+            l2_hits=raw.l2_hits * s_scale,
+            dram_transactions=raw.dram_transactions * s_scale + stream_transactions,
+        )
+    if hier is None:
+        hier = _ScaledHierarchyResult(
+            accesses=stream_transactions,
+            unified_hits=0,
+            l2_accesses=stream_transactions,
+            l2_hits=0,
+            dram_transactions=stream_transactions,
+        )
+
+    warp_size = spec.warp_size
+    n_warps = -(-n_threads // warp_size)
+    occ = sharedmem.occupancy(spec, threads_per_block, 0)
+    hiding = min(occ.warps_per_sm, spec.latency_hiding_warps)
+    # Streaming reads prefetch well: high effective MLP.
+    total_stall = (
+        (stream_transactions + scatter_trans)
+        * spec.dram_latency_cycles
+        / (spec.smp_mlp * hiding)
+    )
+    issue_cycles = n_warps * instr_per_thread
+    sm_cycles_max = (issue_cycles + total_stall) / spec.num_sms
+
+    return _finalize(
+        spec,
+        threads=n_threads,
+        warps=n_warps,
+        instructions=n_threads * instr_per_thread,
+        sm_cycles_max=sm_cycles_max,
+        hier_result=hier,
+        extra_dram_write_bytes=write_bytes,
+        load_transactions=stream_transactions + scatter_trans,
+        store_transactions=int(np.ceil(write_bytes / spec.sector_bytes)),
+    )

@@ -1,0 +1,197 @@
+"""Multi-GPU scaling model (Totem / Groute-style partitioned traversal).
+
+Section I argues that multi-GPU systems scale poorly because "communication
+bandwidth through the PCI-e interface is relatively low and the overhead
+significantly limits the scalability (often no more than 8 GPUs)".  This
+module makes that claim executable: vertices are range-partitioned across
+``num_gpus`` simulated devices; each iteration runs the local frontier
+kernel on every GPU in parallel and then exchanges *boundary updates*
+(label writes whose destination lives on another GPU) through host-staged
+PCIe transfers that share the root-complex bandwidth.
+
+The functional result is unchanged (labels are global); only the cost
+model is partitioned — which is exactly the level at which the paper's
+scalability argument lives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.algorithms.base import TraversalProblem, get_problem
+from repro.baselines.base import check_iteration_budget, propagate_step
+from repro.core.config import EtaGraphConfig
+from repro.core.udc import degree_cut
+from repro.errors import ConfigError
+from repro.gpu.cache import CacheHierarchy
+from repro.gpu.device import DeviceSpec, GTX_1080TI
+from repro.gpu.kernel import simulate_vertex_kernel
+from repro.gpu.memory import DeviceMemory
+from repro.gpu.profiler import Profiler
+from repro.gpu.transfer import h2d_copy
+from repro.graph.csr import CSRGraph
+from repro.utils.ragged import ragged_gather_indices
+
+
+@dataclass
+class MultiGPUResult:
+    """Labels plus the partitioned execution record."""
+
+    labels: np.ndarray
+    num_gpus: int
+    iterations: int
+    total_ms: float
+    kernel_ms: float
+    comm_ms: float
+    comm_bytes: float
+    per_gpu_vertices: list[int] = field(default_factory=list)
+    profiler: Profiler | None = None
+
+    @property
+    def comm_fraction(self) -> float:
+        return self.comm_ms / self.total_ms if self.total_ms else 0.0
+
+
+def partition_ranges(num_vertices: int, num_gpus: int) -> np.ndarray:
+    """Range partition boundaries: GPU g owns [bounds[g], bounds[g+1])."""
+    return np.linspace(0, num_vertices, num_gpus + 1).astype(np.int64)
+
+
+def multi_gpu_traversal(
+    csr: CSRGraph,
+    source: int,
+    *,
+    num_gpus: int = 2,
+    problem: TraversalProblem | str = "bfs",
+    config: EtaGraphConfig | None = None,
+    device: DeviceSpec = GTX_1080TI,
+) -> MultiGPUResult:
+    """Run one traversal over a ``num_gpus``-way partitioned graph."""
+    if num_gpus < 1:
+        raise ConfigError(f"num_gpus must be >= 1, got {num_gpus}")
+    if isinstance(problem, str):
+        problem = get_problem(problem)
+    problem.check_graph(csr)
+    cfg = config or EtaGraphConfig()
+    spec = device
+
+    bounds = partition_ranges(csr.num_vertices, num_gpus)
+    owner_of = np.searchsorted(bounds, np.arange(csr.num_vertices),
+                               side="right") - 1
+
+    # Each GPU holds its partition's slice of the topology + full labels
+    # (the Totem model: replicated state, partitioned edges).
+    mems = [DeviceMemory(spec) for _ in range(num_gpus)]
+    caches = [CacheHierarchy(spec) for _ in range(num_gpus)]
+    prof = Profiler()
+    clock = 0.0
+
+    cols_arrs = []
+    labels_arrs = []
+    for g, mem in enumerate(mems):
+        lo, hi = bounds[g], bounds[g + 1]
+        e_lo = csr.row_offsets[lo]
+        e_hi = csr.row_offsets[hi]
+        part_cols = csr.column_indices[e_lo:e_hi]
+        cols_arrs.append(mem.alloc(f"cols_gpu{g}", part_cols))
+        labels_arrs.append(mem.alloc_empty(
+            f"labels_gpu{g}", max(csr.num_vertices, 1), np.float32
+        ))
+        # Upfront transfer of each partition happens in parallel across
+        # GPUs: the slowest link sets the clock.
+    setup = max(
+        h2d_copy(spec, prof, cols_arrs[g].nbytes + 4 * csr.num_vertices)
+        for g in range(num_gpus)
+    )
+    clock += setup
+
+    labels = problem.initial_labels(csr.num_vertices, source)
+    offsets = csr.row_offsets
+    kernel_ms = 0.0
+    comm_ms = 0.0
+    comm_bytes = 0.0
+    iterations = 0
+    active = np.array([source], dtype=np.int64)
+    while len(active):
+        check_iteration_budget(iterations, "multi-gpu")
+        changed, attempted, nbr, edges = propagate_step(
+            csr, labels, active, problem
+        )
+
+        # Per-GPU kernel time on its share of the frontier.
+        gpu_times = []
+        for g in range(num_gpus):
+            mine = active[owner_of[active] == g]
+            if len(mine) == 0:
+                gpu_times.append(0.0)
+                continue
+            shadows = degree_cut(mine, offsets, cfg.degree_limit)
+            if len(shadows) == 0:
+                gpu_times.append(0.0)
+                continue
+            e_idx = ragged_gather_indices(shadows.starts, shadows.degrees)
+            local_nbr = csr.column_indices[e_idx].astype(np.int64)
+            timing = simulate_vertex_kernel(
+                spec, caches[g],
+                starts=shadows.starts,
+                degrees=shadows.degrees,
+                adj_array=cols_arrs[g],
+                neighbor_ids=local_nbr,
+                label_array=labels_arrs[g],
+                smp=cfg.smp,
+                degree_limit=cfg.degree_limit,
+                updates=int(len(local_nbr) * attempted / max(edges, 1)),
+                instr_per_edge=problem.instr_per_edge,
+                threads_per_block=cfg.threads_per_block,
+            )
+            prof.record_kernel(timing.counters)
+            gpu_times.append(timing.time_ms)
+        iter_kernel = max(gpu_times) if gpu_times else 0.0
+        kernel_ms += iter_kernel
+
+        # Boundary exchange: updates whose destination is foreign-owned
+        # cross PCIe twice (device -> host -> device) and all links share
+        # the host root complex, so the exchange serializes across GPUs.
+        if len(changed) and num_gpus > 1:
+            # A destination is "remote" for every GPU except its owner;
+            # with replicated labels each update must reach all peers.
+            update_bytes = len(changed) * 8 * (num_gpus - 1)
+            exchange = spec.pcie_time_ms(update_bytes) + \
+                (num_gpus - 1) * spec.pcie_latency_us * 1e-3
+            comm_ms += exchange
+            comm_bytes += update_bytes
+        else:
+            exchange = 0.0
+
+        clock += iter_kernel + exchange
+        active = changed
+        iterations += 1
+
+    return MultiGPUResult(
+        labels=labels.copy(),
+        num_gpus=num_gpus,
+        iterations=iterations,
+        total_ms=clock,
+        kernel_ms=kernel_ms,
+        comm_ms=comm_ms,
+        comm_bytes=comm_bytes,
+        per_gpu_vertices=[int(bounds[g + 1] - bounds[g])
+                          for g in range(num_gpus)],
+        profiler=prof,
+    )
+
+
+def scaling_sweep(
+    csr: CSRGraph,
+    source: int,
+    gpu_counts: list[int] = (1, 2, 4, 8, 16),
+    **kwargs,
+) -> dict[int, MultiGPUResult]:
+    """Run the same traversal at several GPU counts (the scalability
+    curve of the paper's introduction)."""
+    return {
+        g: multi_gpu_traversal(csr, source, num_gpus=g, **kwargs)
+        for g in gpu_counts
+    }

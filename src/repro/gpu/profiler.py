@@ -1,0 +1,127 @@
+"""nvprof-style counter collection.
+
+The paper's Fig. 7 reports, for BFS on LiveJournal with and without SMP:
+IPC, Unified-Cache hit rate, L2 hit rate, read throughput at L2 / unified
+cache / DRAM, and global-memory read transactions.  Every one of those is
+a counter or a derived ratio collected here; kernels update the counters
+through :meth:`Profiler.record_kernel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class KernelCounters:
+    """Raw event counts for one kernel launch (or an accumulation)."""
+
+    launches: int = 0
+    threads: int = 0
+    warps: int = 0
+    #: Total instructions issued across all threads.
+    instructions: float = 0.0
+    #: Elapsed SM cycles of the kernel (per-SM clock; max across SMs).
+    cycles: float = 0.0
+    elapsed_ms: float = 0.0
+
+    # Memory system -----------------------------------------------------
+    global_load_transactions: int = 0
+    global_store_transactions: int = 0
+    unified_cache_accesses: int = 0
+    unified_cache_hits: int = 0
+    l2_accesses: int = 0
+    l2_hits: int = 0
+    dram_read_bytes: float = 0.0
+    dram_write_bytes: float = 0.0
+    shared_load_bytes: float = 0.0
+
+    def merge(self, other: "KernelCounters") -> None:
+        """Accumulate ``other`` into this counter set (cycle counts add —
+        kernels in one stream execute back-to-back)."""
+        for f in self.__dataclass_fields__:
+            setattr(self, f, getattr(self, f) + getattr(other, f))
+
+    # Derived metrics (the Fig. 7 bars) ---------------------------------
+
+    @property
+    def ipc(self) -> float:
+        """Instructions per cycle per SM-equivalent (nvprof ``ipc``)."""
+        if self.cycles <= 0:
+            return 0.0
+        return self.instructions / self.cycles
+
+    @property
+    def unified_hit_rate(self) -> float:
+        if self.unified_cache_accesses == 0:
+            return 0.0
+        return self.unified_cache_hits / self.unified_cache_accesses
+
+    @property
+    def l2_hit_rate(self) -> float:
+        if self.l2_accesses == 0:
+            return 0.0
+        return self.l2_hits / self.l2_accesses
+
+    def _throughput(self, nbytes: float) -> float:
+        if self.elapsed_ms <= 0:
+            return 0.0
+        return nbytes / (self.elapsed_ms * 1e-3) / 1e9  # GB/s
+
+    @property
+    def dram_read_throughput_gbps(self) -> float:
+        return self._throughput(self.dram_read_bytes)
+
+    @property
+    def l2_read_throughput_gbps(self) -> float:
+        sector = 32
+        return self._throughput(self.l2_accesses * sector)
+
+    @property
+    def unified_read_throughput_gbps(self) -> float:
+        sector = 32
+        return self._throughput(self.unified_cache_accesses * sector)
+
+
+@dataclass
+class Profiler:
+    """Accumulates kernel counters and transfer/migration statistics."""
+
+    kernels: KernelCounters = field(default_factory=KernelCounters)
+    h2d_bytes: float = 0.0
+    d2h_bytes: float = 0.0
+    h2d_time_ms: float = 0.0
+    d2h_time_ms: float = 0.0
+    #: Sizes (bytes) of individual UM migrations — Table V's data.
+    migration_sizes: list[int] = field(default_factory=list)
+    migration_time_ms: float = 0.0
+
+    def record_kernel(self, counters: KernelCounters) -> None:
+        self.kernels.merge(counters)
+
+    def record_h2d(self, nbytes: float, time_ms: float) -> None:
+        self.h2d_bytes += nbytes
+        self.h2d_time_ms += time_ms
+
+    def record_d2h(self, nbytes: float, time_ms: float) -> None:
+        self.d2h_bytes += nbytes
+        self.d2h_time_ms += time_ms
+
+    def record_migration(self, nbytes: int, time_ms: float) -> None:
+        self.migration_sizes.append(int(nbytes))
+        self.migration_time_ms += time_ms
+
+    # Table V summary ----------------------------------------------------
+
+    def migration_size_stats(self) -> tuple[float, int, int]:
+        """(average, min, max) migrated-chunk size in bytes; zeros if none."""
+        if not self.migration_sizes:
+            return (0.0, 0, 0)
+        sizes = self.migration_sizes
+        return (sum(sizes) / len(sizes), min(sizes), max(sizes))
+
+    def snapshot(self) -> KernelCounters:
+        """Copy of the accumulated kernel counters (for before/after diffs)."""
+        out = KernelCounters()
+        out.merge(self.kernels)
+        return out

@@ -1,0 +1,57 @@
+"""Warp-level SIMT arithmetic.
+
+A warp executes in lockstep (Section II-A): a warp instruction retires
+when its slowest lane finishes, so a warp's issue time is the *maximum*
+of its lanes' work — the root cause of the long-tail problem UDC solves.
+These helpers reduce per-thread quantities to per-warp max/sum without
+Python loops.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def pad_to_warps(values: np.ndarray, warp_size: int = 32, fill: float = 0) -> np.ndarray:
+    """Pad a per-thread array to a whole number of warps and reshape to
+    ``(num_warps, warp_size)``."""
+    values = np.asarray(values)
+    n = len(values)
+    num_warps = -(-max(n, 1) // warp_size)
+    padded = np.full(num_warps * warp_size, fill, dtype=values.dtype
+                     if values.dtype.kind == "f" else np.float64)
+    padded[:n] = values
+    return padded.reshape(num_warps, warp_size)
+
+
+def per_warp_max(values: np.ndarray, warp_size: int = 32) -> np.ndarray:
+    """Lockstep cost: the slowest lane of each warp."""
+    return pad_to_warps(values, warp_size).max(axis=1)
+
+
+def per_warp_sum(values: np.ndarray, warp_size: int = 32) -> np.ndarray:
+    """Total work of each warp (useful work, regardless of balance)."""
+    return pad_to_warps(values, warp_size).sum(axis=1)
+
+
+def warp_efficiency(lane_work: np.ndarray, warp_size: int = 32) -> float:
+    """Useful-lane-cycles / issued-lane-cycles across all warps.
+
+    1.0 means perfectly balanced warps; skewed degrees without UDC push
+    this far below 1 (most lanes idle while the hub lane runs).
+    """
+    lane_work = np.asarray(lane_work, dtype=np.float64)
+    if len(lane_work) == 0:
+        return 1.0
+    total = float(lane_work.sum())
+    issued = float(per_warp_max(lane_work, warp_size).sum()) * warp_size
+    return total / issued if issued > 0 else 1.0
+
+
+def assign_warps_to_sms(warp_costs: np.ndarray, num_sms: int) -> np.ndarray:
+    """Round-robin warp scheduling; returns total cycles per SM."""
+    warp_costs = np.asarray(warp_costs, dtype=np.float64)
+    if len(warp_costs) == 0:
+        return np.zeros(num_sms)
+    sm_of_warp = np.arange(len(warp_costs)) % num_sms
+    return np.bincount(sm_of_warp, weights=warp_costs, minlength=num_sms)

@@ -1,0 +1,29 @@
+"""Graph data structures, generators, I/O and dataset registry.
+
+The layout mirrors Section II-B of the paper: CSR is the primary structure
+(what EtaGraph itself consumes), with edge-list, G-Shards (CuSha) and VST
+(Tigr) implemented both as baseline-framework inputs and for the Table I
+space-overhead comparison.
+"""
+
+from repro.graph.csr import CSRGraph
+from repro.graph.csc import CSCGraph
+from repro.graph.edgelist import EdgeList
+from repro.graph.gshard import GShards
+from repro.graph.vst import VirtualSplitGraph
+from repro.graph.builder import build_csr_from_edges
+from repro.graph import generators, io, properties, datasets, weights
+
+__all__ = [
+    "CSRGraph",
+    "CSCGraph",
+    "EdgeList",
+    "GShards",
+    "VirtualSplitGraph",
+    "build_csr_from_edges",
+    "generators",
+    "io",
+    "properties",
+    "datasets",
+    "weights",
+]

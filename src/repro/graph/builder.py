@@ -1,0 +1,114 @@
+"""Vectorized CSR construction from raw edge arrays.
+
+Building CSR is the only "pre-processing" EtaGraph performs (the paper's
+point is that UDC needs *no* further transformation beyond the CSR every
+framework loads anyway), so this path is shared by every framework in the
+repo and kept fully vectorized: one ``argsort`` and a handful of gathers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.graph.csr import CSRGraph, OFFSET_DTYPE, VERTEX_DTYPE, WEIGHT_DTYPE
+from repro.utils.validation import ensure_array
+
+
+def build_csr_from_edges(
+    src: np.ndarray,
+    dst: np.ndarray,
+    num_vertices: int | None = None,
+    weights: np.ndarray | None = None,
+    *,
+    dedup: bool = True,
+) -> CSRGraph:
+    """Build a :class:`CSRGraph` from parallel ``src``/``dst`` arrays.
+
+    Parameters
+    ----------
+    src, dst:
+        Edge endpoints; any integer dtype, converted to int32.
+    num_vertices:
+        Total vertex count.  Defaults to ``max(src, dst) + 1``.
+    weights:
+        Optional per-edge float weights, permuted along with the edges.
+    dedup:
+        Drop duplicate ``(src, dst)`` pairs, keeping the first occurrence
+        (the paper assumes graphs without duplicate edges for UDC's
+        correctness argument — Section III-B).
+    """
+    src = ensure_array("src", src, VERTEX_DTYPE)
+    dst = ensure_array("dst", dst, VERTEX_DTYPE)
+    if len(src) != len(dst):
+        raise GraphFormatError(
+            f"src and dst length mismatch: {len(src)} vs {len(dst)}"
+        )
+    if weights is not None:
+        weights = ensure_array("weights", weights, WEIGHT_DTYPE)
+        if len(weights) != len(src):
+            raise GraphFormatError(
+                f"weights length {len(weights)} != edge count {len(src)}"
+            )
+
+    if len(src) and (src.min() < 0 or dst.min() < 0):
+        raise GraphFormatError("negative vertex ids are not allowed")
+
+    if num_vertices is None:
+        num_vertices = int(max(src.max(initial=-1), dst.max(initial=-1)) + 1)
+    elif len(src) and max(src.max(), dst.max()) >= num_vertices:
+        raise GraphFormatError(
+            f"edge endpoint exceeds num_vertices={num_vertices}"
+        )
+
+    # Sort edges by (src, dst) so each adjacency list is contiguous and
+    # ordered — a stable sort keeps the first occurrence for dedup.
+    order = np.lexsort((dst, src))
+    src = src[order]
+    dst = dst[order]
+    if weights is not None:
+        weights = weights[order]
+
+    if dedup and len(src):
+        keep = np.empty(len(src), dtype=bool)
+        keep[0] = True
+        np.logical_or(src[1:] != src[:-1], dst[1:] != dst[:-1], out=keep[1:])
+        if not keep.all():
+            src = src[keep]
+            dst = dst[keep]
+            if weights is not None:
+                weights = weights[keep]
+
+    counts = np.bincount(src, minlength=num_vertices)
+    row_offsets = np.zeros(num_vertices + 1, dtype=np.int64)
+    np.cumsum(counts, out=row_offsets[1:])
+    if row_offsets[-1] > np.iinfo(OFFSET_DTYPE).max:
+        raise GraphFormatError(
+            f"edge count {row_offsets[-1]} exceeds int32 offset range"
+        )
+
+    return CSRGraph(
+        row_offsets.astype(OFFSET_DTYPE),
+        dst,
+        weights,
+        validate=False,
+    )
+
+
+def remove_self_loops(
+    src: np.ndarray, dst: np.ndarray, weights: np.ndarray | None = None
+):
+    """Filter out ``src == dst`` edges from parallel edge arrays."""
+    src = np.asarray(src)
+    dst = np.asarray(dst)
+    keep = src != dst
+    if weights is not None:
+        return src[keep], dst[keep], np.asarray(weights)[keep]
+    return src[keep], dst[keep], None
+
+
+def symmetrize(src: np.ndarray, dst: np.ndarray):
+    """Return edge arrays containing both directions of every edge."""
+    src = np.asarray(src)
+    dst = np.asarray(dst)
+    return np.concatenate([src, dst]), np.concatenate([dst, src])

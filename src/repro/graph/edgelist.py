@@ -1,0 +1,81 @@
+"""Edge-list (COO) representation.
+
+The layout used by edge-centric engines such as X-Stream: two parallel
+``|E|``-length arrays of source and destination ids, ``2|E|`` topology
+words (Table I row "Edge List").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.graph.csr import CSRGraph, VERTEX_DTYPE, WEIGHT_DTYPE, WORD_BYTES
+from repro.utils.validation import ensure_array
+
+
+class EdgeList:
+    """Parallel ``src``/``dst`` (and optional ``weight``) edge arrays."""
+
+    def __init__(
+        self,
+        src: np.ndarray,
+        dst: np.ndarray,
+        weights: np.ndarray | None = None,
+        num_vertices: int | None = None,
+    ):
+        self.src = ensure_array("src", src, VERTEX_DTYPE)
+        self.dst = ensure_array("dst", dst, VERTEX_DTYPE)
+        if len(self.src) != len(self.dst):
+            raise GraphFormatError(
+                f"src/dst length mismatch: {len(self.src)} vs {len(self.dst)}"
+            )
+        if weights is not None:
+            weights = ensure_array("weights", weights, WEIGHT_DTYPE)
+            if len(weights) != len(self.src):
+                raise GraphFormatError("weights length != edge count")
+        self.weights = weights
+        if num_vertices is None:
+            num_vertices = int(
+                max(self.src.max(initial=-1), self.dst.max(initial=-1)) + 1
+            )
+        self.num_vertices = num_vertices
+
+    @classmethod
+    def from_csr(cls, csr: CSRGraph) -> "EdgeList":
+        """Expand a CSR graph into COO form (one ``np.repeat``)."""
+        return cls(
+            csr.edge_sources(),
+            csr.column_indices.copy(),
+            None if csr.edge_weights is None else csr.edge_weights.copy(),
+            num_vertices=csr.num_vertices,
+        )
+
+    def to_csr(self) -> CSRGraph:
+        return CSRGraph.from_edges(
+            self.src, self.dst, self.num_vertices, self.weights, dedup=False
+        )
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.src)
+
+    @property
+    def nbytes(self) -> int:
+        total = self.src.nbytes + self.dst.nbytes
+        if self.weights is not None:
+            total += self.weights.nbytes
+        return total
+
+    def topology_words(self) -> int:
+        """Table I metric: ``2|E|`` 4-byte words."""
+        return (self.src.nbytes + self.dst.nbytes) // WORD_BYTES
+
+    def device_arrays(self) -> dict[str, np.ndarray]:
+        arrays = {"edge_src": self.src, "edge_dst": self.dst}
+        if self.weights is not None:
+            arrays["edge_weights"] = self.weights
+        return arrays
+
+    def __repr__(self) -> str:
+        return f"EdgeList(|V|={self.num_vertices}, |E|={self.num_edges})"

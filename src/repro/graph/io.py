@@ -1,0 +1,246 @@
+"""Graph I/O: text edge lists, Galois-style binary CSR, npz caching.
+
+The paper stores graphs in the Galois CSR binary format ("gr") for fast
+loading; we implement a compatible little-endian layout plus a plain-text
+edge-list reader (the distribution format of the SNAP datasets) and an
+``.npz`` cache used by the dataset registry to amortize surrogate
+generation across benchmark runs.
+"""
+
+from __future__ import annotations
+
+import struct
+import warnings
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.graph.csr import CSRGraph, OFFSET_DTYPE, VERTEX_DTYPE, WEIGHT_DTYPE
+
+#: Magic/version header of our Galois-style binary ("gr" v1-like layout).
+_GR_MAGIC = 0x47724772  # "GrGr"
+_GR_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Text edge lists (SNAP distribution format)
+# ----------------------------------------------------------------------
+
+def load_edgelist_text(
+    path: str | Path,
+    *,
+    weighted: bool = False,
+    num_vertices: int | None = None,
+) -> CSRGraph:
+    """Load a whitespace-separated edge list; ``#`` lines are comments.
+
+    Uses ``np.loadtxt`` on the comment-stripped stream, so the hot path is
+    vectorized rather than a Python per-line loop.  The vertex count is
+    taken from ``num_vertices``, else from a ``|V|=`` header comment (as
+    written by :func:`save_edgelist_text`), else inferred from the maximum
+    endpoint id — which silently drops trailing isolated vertices, exactly
+    as the SNAP distribution format does.
+    """
+    path = Path(path)
+    if num_vertices is None:
+        num_vertices = _sniff_vertex_count(path)
+    try:
+        with warnings.catch_warnings():
+            # An all-comment file is a valid empty graph, not a warning.
+            warnings.simplefilter("ignore", UserWarning)
+            data = np.loadtxt(path, comments="#", dtype=np.float64, ndmin=2)
+    except ValueError as exc:
+        raise GraphFormatError(f"unparseable edge list {path}: {exc}") from exc
+    if data.size == 0:
+        n = num_vertices or 0
+        return CSRGraph(
+            np.zeros(n + 1, dtype=OFFSET_DTYPE), np.empty(0, VERTEX_DTYPE)
+        )
+    min_cols = 3 if weighted else 2
+    if data.shape[1] < min_cols:
+        raise GraphFormatError(
+            f"{path}: expected >= {min_cols} columns, got {data.shape[1]}"
+        )
+    src = data[:, 0].astype(np.int64)
+    dst = data[:, 1].astype(np.int64)
+    weights = data[:, 2].astype(WEIGHT_DTYPE) if weighted else None
+    return CSRGraph.from_edges(
+        src, dst, num_vertices=num_vertices, weights=weights
+    )
+
+
+def _sniff_vertex_count(path: Path) -> int | None:
+    """Look for a ``|V|=<n>`` token in leading comment lines."""
+    with path.open() as fh:
+        for line in fh:
+            if not line.startswith("#"):
+                return None
+            for token in line.split():
+                if token.startswith("|V|="):
+                    try:
+                        return int(token[4:])
+                    except ValueError:
+                        return None
+    return None
+
+
+def save_edgelist_text(csr: CSRGraph, path: str | Path) -> None:
+    """Write a graph as a SNAP-style text edge list."""
+    path = Path(path)
+    src = csr.edge_sources()
+    cols = [src, csr.column_indices]
+    fmt = "%d %d"
+    if csr.edge_weights is not None:
+        cols.append(csr.edge_weights)
+        fmt = "%d %d %g"
+    with path.open("w") as fh:
+        fh.write(f"# repro edge list |V|={csr.num_vertices} |E|={csr.num_edges}\n")
+        np.savetxt(fh, np.column_stack(cols), fmt=fmt)
+
+
+# ----------------------------------------------------------------------
+# Galois-style binary CSR
+# ----------------------------------------------------------------------
+
+def save_galois_binary(csr: CSRGraph, path: str | Path) -> None:
+    """Write a Galois-"gr"-style binary: header, offsets, columns, weights."""
+    path = Path(path)
+    flags = 1 if csr.edge_weights is not None else 0
+    header = struct.pack(
+        "<IIQQ", _GR_MAGIC, _GR_VERSION | (flags << 16), csr.num_vertices,
+        csr.num_edges,
+    )
+    with path.open("wb") as fh:
+        fh.write(header)
+        fh.write(csr.row_offsets.astype("<i4").tobytes())
+        fh.write(csr.column_indices.astype("<i4").tobytes())
+        if csr.edge_weights is not None:
+            fh.write(csr.edge_weights.astype("<f4").tobytes())
+
+
+def load_galois_binary(path: str | Path) -> CSRGraph:
+    """Load a graph written by :func:`save_galois_binary`."""
+    path = Path(path)
+    raw = path.read_bytes()
+    if len(raw) < 24:
+        raise GraphFormatError(f"{path}: truncated header")
+    magic, verflags, n, m = struct.unpack_from("<IIQQ", raw, 0)
+    if magic != _GR_MAGIC:
+        raise GraphFormatError(f"{path}: bad magic 0x{magic:08x}")
+    version = verflags & 0xFFFF
+    if version != _GR_VERSION:
+        raise GraphFormatError(f"{path}: unsupported version {version}")
+    weighted = bool(verflags >> 16)
+    pos = 24
+    need = (n + 1 + m) * 4 + (m * 4 if weighted else 0)
+    if len(raw) - pos < need:
+        raise GraphFormatError(
+            f"{path}: truncated body ({len(raw) - pos} B, need {need} B)"
+        )
+    offsets = np.frombuffer(raw, dtype="<i4", count=n + 1, offset=pos).astype(
+        OFFSET_DTYPE
+    )
+    pos += (n + 1) * 4
+    cols = np.frombuffer(raw, dtype="<i4", count=m, offset=pos).astype(VERTEX_DTYPE)
+    pos += m * 4
+    weights = None
+    if weighted:
+        weights = np.frombuffer(raw, dtype="<f4", count=m, offset=pos).astype(
+            WEIGHT_DTYPE
+        )
+    return CSRGraph(offsets, cols, weights)
+
+
+# ----------------------------------------------------------------------
+# MatrixMarket (the exchange format most sparse-graph corpora ship in)
+# ----------------------------------------------------------------------
+
+def load_matrix_market(path: str | Path, *, weighted: bool | None = None) -> CSRGraph:
+    """Load a MatrixMarket coordinate file as a directed graph.
+
+    1-indexed coordinates are converted to 0-indexed vertex ids.
+    ``weighted=None`` keeps weights iff the file is a ``real`` matrix;
+    ``pattern`` matrices never have them.  Symmetric matrices are
+    expanded to both edge directions, matching SuiteSparse convention.
+    """
+    import scipy.io
+
+    path = Path(path)
+    try:
+        m = scipy.io.mmread(path)
+    except Exception as exc:
+        raise GraphFormatError(f"unparseable MatrixMarket file {path}: {exc}") \
+            from exc
+    coo = m.tocoo()
+    n = max(coo.shape)
+    if weighted is None:
+        # scipy materializes pattern matrices as all-ones float data, so
+        # auto-detection must look at the header field, not the dtype.
+        with path.open() as fh:
+            header = fh.readline()
+        keep_weights = "pattern" not in header
+    else:
+        keep_weights = weighted
+    weights = coo.data.astype(WEIGHT_DTYPE) if keep_weights else None
+    return CSRGraph.from_edges(
+        coo.row.astype(np.int64), coo.col.astype(np.int64),
+        num_vertices=n, weights=weights,
+    )
+
+
+def save_matrix_market(csr: CSRGraph, path: str | Path) -> None:
+    """Write a graph as a MatrixMarket ``coordinate`` file.
+
+    Unweighted graphs become ``pattern`` matrices so they round-trip
+    without acquiring synthetic unit weights.
+    """
+    import scipy.io
+
+    field = None if csr.edge_weights is not None else "pattern"
+    scipy.io.mmwrite(Path(path), csr.to_scipy(), field=field)
+
+
+# ----------------------------------------------------------------------
+# Format dispatch (used by the CLI)
+# ----------------------------------------------------------------------
+
+def load_any(path: str | Path, *, weighted: bool = False) -> CSRGraph:
+    """Load a graph, dispatching on the file extension.
+
+    ``.gr`` -> Galois binary, ``.mtx`` -> MatrixMarket, ``.npz`` -> cache
+    format, anything else -> text edge list.
+    """
+    path = Path(path)
+    suffix = path.suffix.lower()
+    if suffix == ".gr":
+        return load_galois_binary(path)
+    if suffix == ".mtx":
+        return load_matrix_market(path, weighted=weighted or None)
+    if suffix == ".npz":
+        return load_npz(path)
+    return load_edgelist_text(path, weighted=weighted)
+
+
+# ----------------------------------------------------------------------
+# npz cache (dataset registry)
+# ----------------------------------------------------------------------
+
+def save_npz(csr: CSRGraph, path: str | Path) -> None:
+    """Cache a graph as compressed npz (fast to reload between bench runs)."""
+    arrays = {
+        "row_offsets": csr.row_offsets,
+        "column_indices": csr.column_indices,
+    }
+    if csr.edge_weights is not None:
+        arrays["edge_weights"] = csr.edge_weights
+    np.savez_compressed(Path(path), **arrays)
+
+
+def load_npz(path: str | Path) -> CSRGraph:
+    """Load a graph cached by :func:`save_npz`."""
+    with np.load(Path(path)) as data:
+        weights = data["edge_weights"] if "edge_weights" in data.files else None
+        return CSRGraph(
+            data["row_offsets"], data["column_indices"], weights, validate=False
+        )

@@ -1,0 +1,136 @@
+"""Graph statistics: degrees, connectivity, reachability.
+
+These back two artifacts of the paper: Table II (dataset statistics,
+including %LCC) and Table IV (activation percentage — the share of
+vertices that ever become active, i.e. the activatable subgraph's size).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.csgraph as csgraph
+
+from repro.graph.csr import CSRGraph
+from repro.utils.ragged import ragged_arange as _ragged_arange
+
+
+@dataclass(frozen=True)
+class DegreeStats:
+    """Summary of the out-degree distribution."""
+
+    average: float
+    maximum: int
+    p99: float
+    zeros: int
+
+    @classmethod
+    def of(cls, csr: CSRGraph) -> "DegreeStats":
+        deg = csr.out_degrees()
+        if len(deg) == 0:
+            return cls(0.0, 0, 0.0, 0)
+        return cls(
+            average=float(deg.mean()),
+            maximum=int(deg.max()),
+            p99=float(np.percentile(deg, 99)),
+            zeros=int((deg == 0).sum()),
+        )
+
+
+def _adjacency(csr: CSRGraph) -> sp.csr_matrix:
+    n = csr.num_vertices
+    data = np.ones(csr.num_edges, dtype=np.int8)
+    return sp.csr_matrix(
+        (data, csr.column_indices, csr.row_offsets.astype(np.int64)), shape=(n, n)
+    )
+
+
+def largest_component_fraction(csr: CSRGraph, *, strong: bool = False) -> float:
+    """Fraction of vertices in the largest (weakly or strongly) connected
+    component — the %LCC column of Table II."""
+    if csr.num_vertices == 0:
+        return 0.0
+    n_comp, labels = csgraph.connected_components(
+        _adjacency(csr), directed=True, connection="strong" if strong else "weak"
+    )
+    if n_comp == 0:
+        return 0.0
+    counts = np.bincount(labels)
+    return float(counts.max() / csr.num_vertices)
+
+
+def reachable_mask(csr: CSRGraph, source: int) -> np.ndarray:
+    """Boolean mask of vertices reachable from ``source`` (directed BFS)."""
+    order = csgraph.breadth_first_order(
+        _adjacency(csr), i_start=source, directed=True, return_predecessors=False
+    )
+    mask = np.zeros(csr.num_vertices, dtype=bool)
+    mask[order] = True
+    return mask
+
+
+def activation_fraction(csr: CSRGraph, source: int) -> float:
+    """Share of all vertices inside the activatable subgraph of ``source``.
+
+    Matches Definition 2 of the paper: the induced subgraph of everything
+    reachable from the source.  This is the "Act. %" row of Table IV.
+    """
+    if csr.num_vertices == 0:
+        return 0.0
+    return float(reachable_mask(csr, source).sum() / csr.num_vertices)
+
+
+def bfs_depth(csr: CSRGraph, source: int) -> int:
+    """Number of BFS levels from ``source`` (the paper's iteration count
+    for BFS, Table IV "Itr. #")."""
+    n = csr.num_vertices
+    levels = np.full(n, -1, dtype=np.int64)
+    levels[source] = 0
+    frontier = np.array([source], dtype=np.int64)
+    depth = 0
+    offsets = csr.row_offsets
+    cols = csr.column_indices
+    while len(frontier):
+        # Gather all neighbors of the frontier, vectorized per level.
+        starts = offsets[frontier].astype(np.int64)
+        ends = offsets[frontier + 1].astype(np.int64)
+        degs = ends - starts
+        total = int(degs.sum())
+        if total == 0:
+            break
+        idx = np.repeat(starts, degs) + _ragged_arange(degs)
+        neigh = cols[idx].astype(np.int64)
+        new = np.unique(neigh[levels[neigh] < 0])
+        if len(new) == 0:
+            break
+        depth += 1
+        levels[new] = depth
+        frontier = new
+    return depth
+
+
+
+
+@dataclass(frozen=True)
+class GraphSummary:
+    """Everything Table II reports about one dataset."""
+
+    num_vertices: int
+    num_edges: int
+    average_degree: float
+    size_bytes: int
+    lcc_fraction: float
+    max_out_degree: int
+
+    @classmethod
+    def of(cls, csr: CSRGraph, *, strong_lcc: bool = False) -> "GraphSummary":
+        return cls(
+            num_vertices=csr.num_vertices,
+            num_edges=csr.num_edges,
+            average_degree=csr.average_degree,
+            size_bytes=csr.nbytes,
+            lcc_fraction=largest_component_fraction(csr, strong=strong_lcc),
+            max_out_degree=csr.max_out_degree(),
+        )

@@ -1,0 +1,90 @@
+"""Vertex relabeling / reordering.
+
+Vertex order is load-bearing for the paper's memory system results: the
+WebGraph datasets are crawl-ordered, which is what lets the UM driver
+merge a BFS wavefront's faults into the large contiguous migrations of
+Table V.  This module provides the classic orderings so their effect can
+be measured (see ``benchmarks/bench_ablation_ordering.py``):
+
+* :func:`bfs_order` — crawl-like order (what the real datasets have),
+* :func:`degree_order` — hubs first (common for CSR segment reuse),
+* :func:`random_order` — the adversarial baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.graph.builder import build_csr_from_edges
+from repro.graph.csr import CSRGraph
+
+
+def apply_permutation(csr: CSRGraph, new_id_of: np.ndarray) -> CSRGraph:
+    """Relabel vertices: old vertex ``v`` becomes ``new_id_of[v]``."""
+    new_id_of = np.asarray(new_id_of, dtype=np.int64)
+    n = csr.num_vertices
+    if len(new_id_of) != n:
+        raise GraphFormatError(
+            f"permutation has {len(new_id_of)} entries for {n} vertices"
+        )
+    if not np.array_equal(np.sort(new_id_of), np.arange(n)):
+        raise GraphFormatError("not a permutation of vertex ids")
+    return build_csr_from_edges(
+        new_id_of[csr.edge_sources()],
+        new_id_of[csr.column_indices],
+        num_vertices=n,
+        weights=csr.edge_weights,
+        dedup=False,
+    )
+
+
+def bfs_order(csr: CSRGraph, source: int = 0) -> np.ndarray:
+    """Permutation assigning ids in BFS discovery order from ``source``.
+
+    Unreached vertices keep their relative order after the reached ones —
+    the layout a crawler's output naturally has.
+    """
+    import scipy.sparse.csgraph as csgraph
+
+    order = csgraph.breadth_first_order(
+        csr.to_scipy(), i_start=source, directed=True,
+        return_predecessors=False,
+    )
+    new_id_of = np.full(csr.num_vertices, -1, dtype=np.int64)
+    new_id_of[order] = np.arange(len(order))
+    rest = np.flatnonzero(new_id_of < 0)
+    new_id_of[rest] = len(order) + np.arange(len(rest))
+    return new_id_of
+
+
+def degree_order(csr: CSRGraph, *, descending: bool = True) -> np.ndarray:
+    """Permutation assigning ids by out-degree (hubs first by default)."""
+    deg = csr.out_degrees()
+    order = np.argsort(-deg if descending else deg, kind="stable")
+    new_id_of = np.empty(csr.num_vertices, dtype=np.int64)
+    new_id_of[order] = np.arange(csr.num_vertices)
+    return new_id_of
+
+
+def random_order(csr: CSRGraph, seed: int = 0) -> np.ndarray:
+    """A uniform random permutation (locality adversary)."""
+    rng = np.random.default_rng(seed)
+    return rng.permutation(csr.num_vertices).astype(np.int64)
+
+
+def reorder(csr: CSRGraph, strategy: str, **kwargs) -> tuple[CSRGraph, np.ndarray]:
+    """Apply a named ordering; returns ``(graph, new_id_of)``."""
+    strategies = {
+        "bfs": bfs_order,
+        "degree": degree_order,
+        "random": random_order,
+    }
+    try:
+        fn = strategies[strategy]
+    except KeyError:
+        raise GraphFormatError(
+            f"unknown ordering {strategy!r}; known: {sorted(strategies)}"
+        ) from None
+    perm = fn(csr, **kwargs)
+    return apply_permutation(csr, perm), perm

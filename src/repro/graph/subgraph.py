@@ -1,0 +1,70 @@
+"""Induced subgraph extraction.
+
+Utilities for carving out the activatable subgraph (Definition 2 of the
+paper) or any vertex-induced subgraph — useful for ad-hoc analysis of
+what a traversal can actually touch (the uk-2006 pocket, component
+slices, ego networks).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.graph.builder import build_csr_from_edges
+from repro.graph.csr import CSRGraph
+
+
+def induced_subgraph(
+    csr: CSRGraph, vertices: np.ndarray
+) -> tuple[CSRGraph, np.ndarray]:
+    """The subgraph induced by ``vertices``.
+
+    Returns ``(subgraph, old_id_of)`` where ``old_id_of[new_id]`` maps
+    compacted ids back to the original graph.
+    """
+    vertices = np.unique(np.asarray(vertices, dtype=np.int64))
+    if len(vertices) and (
+        vertices[0] < 0 or vertices[-1] >= csr.num_vertices
+    ):
+        raise GraphFormatError("subgraph vertex id out of range")
+    new_id_of = np.full(csr.num_vertices, -1, dtype=np.int64)
+    new_id_of[vertices] = np.arange(len(vertices))
+
+    src = csr.edge_sources()
+    dst = csr.column_indices
+    keep = (new_id_of[src] >= 0) & (new_id_of[dst] >= 0)
+    weights = csr.edge_weights[keep] if csr.edge_weights is not None else None
+    sub = build_csr_from_edges(
+        new_id_of[src[keep]],
+        new_id_of[dst[keep]],
+        num_vertices=len(vertices),
+        weights=weights,
+        dedup=False,
+    )
+    return sub, vertices
+
+
+def activatable_subgraph(
+    csr: CSRGraph, source: int
+) -> tuple[CSRGraph, np.ndarray, int]:
+    """Definition 2: the induced subgraph of everything reachable from
+    ``source``.  Returns ``(subgraph, old_id_of, new_source)``."""
+    from repro.graph.properties import reachable_mask
+
+    mask = reachable_mask(csr, source)
+    sub, old_ids = induced_subgraph(csr, np.flatnonzero(mask))
+    new_source = int(np.searchsorted(old_ids, source))
+    return sub, old_ids, new_source
+
+
+def largest_component_subgraph(csr: CSRGraph) -> tuple[CSRGraph, np.ndarray]:
+    """The weakly-connected LCC as a standalone graph."""
+    import scipy.sparse.csgraph as csgraph
+
+    _n, labels = csgraph.connected_components(
+        csr.to_scipy(), directed=True, connection="weak"
+    )
+    counts = np.bincount(labels)
+    keep = np.flatnonzero(labels == np.argmax(counts))
+    return induced_subgraph(csr, keep)

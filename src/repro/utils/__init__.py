@@ -1,0 +1,31 @@
+"""Shared utilities: byte-size units, validation helpers, table rendering."""
+
+from repro.utils.units import (
+    KIB,
+    MIB,
+    GIB,
+    format_bytes,
+    format_ms,
+    parse_size,
+)
+from repro.utils.validation import (
+    check_dtype,
+    check_nonneg_int,
+    check_positive,
+    check_probability,
+    ensure_array,
+)
+
+__all__ = [
+    "KIB",
+    "MIB",
+    "GIB",
+    "format_bytes",
+    "format_ms",
+    "parse_size",
+    "check_dtype",
+    "check_nonneg_int",
+    "check_positive",
+    "check_probability",
+    "ensure_array",
+]

@@ -1,0 +1,80 @@
+"""Terminal chart rendering for experiment reports.
+
+The paper's figures are plots; the experiment modules print their data
+as tables *and* as quick ASCII charts so a terminal run of
+``python -m repro.bench fig2`` conveys the same shape the figure does.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def bar_chart(
+    values: Sequence[float],
+    labels: Sequence[object] | None = None,
+    *,
+    width: int = 40,
+    title: str | None = None,
+) -> str:
+    """Horizontal bar chart, one row per value."""
+    values = [float(v) for v in values]
+    if not values:
+        return title or ""
+    peak = max(max(values), 1e-12)
+    if labels is None:
+        labels = [str(i) for i in range(len(values))]
+    label_w = max(len(str(l)) for l in labels)
+    lines = [title] if title else []
+    for label, v in zip(labels, values):
+        bar = "#" * max(1 if v > 0 else 0, round(v / peak * width))
+        lines.append(f"{str(label):>{label_w}} | {bar} {v:g}")
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line unicode sparkline (8 levels)."""
+    values = [float(v) for v in values]
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    span = hi - lo
+    if span <= 0:
+        return _BLOCKS[4] * len(values)
+    return "".join(
+        _BLOCKS[1 + round((v - lo) / span * (len(_BLOCKS) - 2))]
+        for v in values
+    )
+
+
+def timeline_chart(
+    intervals: Sequence[tuple[str, float, float]],
+    *,
+    width: int = 60,
+    title: str | None = None,
+) -> str:
+    """Fig. 4-style activity bands: one row per kind, '=' where busy.
+
+    ``intervals`` are ``(kind, start, end)`` tuples in any time unit.
+    """
+    if not intervals:
+        return title or ""
+    t0 = min(iv[1] for iv in intervals)
+    t1 = max(iv[2] for iv in intervals)
+    span = max(t1 - t0, 1e-12)
+    kinds = sorted({iv[0] for iv in intervals})
+    label_w = max(len(k) for k in kinds)
+    lines = [title] if title else []
+    for kind in kinds:
+        cells = [" "] * width
+        for k, start, end in intervals:
+            if k != kind:
+                continue
+            lo = int((start - t0) / span * width)
+            hi = max(lo + 1, int((end - t0) / span * width))
+            for i in range(lo, min(hi, width)):
+                cells[i] = "="
+        lines.append(f"{kind:>{label_w}} |{''.join(cells)}|")
+    return "\n".join(lines)

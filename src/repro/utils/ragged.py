@@ -1,0 +1,46 @@
+"""Ragged-array helpers shared by UDC expansion and frontier gathering.
+
+Graph traversal repeatedly needs "for each item i, the values
+``base[i] .. base[i] + count[i]``" flattened into one array.  These helpers
+express that without Python loops; they are the hot path of the engine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def ragged_arange(counts: np.ndarray) -> np.ndarray:
+    """``concatenate([arange(c) for c in counts])`` — vectorized.
+
+    Output position ``j`` belongs to segment ``s``; its value is ``j``
+    minus the output-space start of ``s``.
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    ends = np.cumsum(counts)
+    starts = ends - counts
+    return np.arange(total, dtype=np.int64) - np.repeat(starts, counts)
+
+
+def ragged_gather_indices(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Flat indices ``[starts[i], starts[i]+1, ..., starts[i]+counts[i]-1]``.
+
+    This is how the engine turns a set of CSR slices (the shadow vertices'
+    edge ranges) into one gather index array.
+    """
+    starts = np.asarray(starts, dtype=np.int64)
+    counts = np.asarray(counts, dtype=np.int64)
+    if len(starts) != len(counts):
+        raise ValueError(
+            f"starts/counts length mismatch: {len(starts)} vs {len(counts)}"
+        )
+    return np.repeat(starts, counts) + ragged_arange(counts)
+
+
+def segment_ids(counts: np.ndarray) -> np.ndarray:
+    """``concatenate([full(c, i) for i, c in enumerate(counts)])``."""
+    counts = np.asarray(counts, dtype=np.int64)
+    return np.repeat(np.arange(len(counts), dtype=np.int64), counts)

@@ -1,0 +1,62 @@
+"""Byte-size and time units used throughout the simulator.
+
+All simulator internals keep sizes in **bytes** and time in **milliseconds**;
+these helpers exist so call sites never hand-roll ``1024 * 1024`` literals.
+"""
+
+from __future__ import annotations
+
+import re
+
+KIB: int = 1024
+MIB: int = 1024 * KIB
+GIB: int = 1024 * MIB
+
+_SIZE_RE = re.compile(r"^\s*([0-9]+(?:\.[0-9]+)?)\s*(B|KB|KIB|MB|MIB|GB|GIB)?\s*$", re.I)
+
+_UNIT_FACTORS = {
+    None: 1,
+    "B": 1,
+    "KB": KIB,
+    "KIB": KIB,
+    "MB": MIB,
+    "MIB": MIB,
+    "GB": GIB,
+    "GIB": GIB,
+}
+
+
+def parse_size(text: str | int | float) -> int:
+    """Parse a human-readable size (``"2MB"``, ``"11GB"``, ``4096``) into bytes.
+
+    Binary units are used throughout (``KB`` == KiB == 1024 B), matching how
+    GPU memory capacities are conventionally quoted.
+    """
+    if isinstance(text, (int, float)):
+        if text < 0:
+            raise ValueError(f"size must be non-negative, got {text}")
+        return int(text)
+    m = _SIZE_RE.match(text)
+    if m is None:
+        raise ValueError(f"unparseable size: {text!r}")
+    value = float(m.group(1))
+    unit = m.group(2).upper() if m.group(2) else None
+    return int(value * _UNIT_FACTORS[unit])
+
+
+def format_bytes(n: int | float) -> str:
+    """Render a byte count with a binary-unit suffix (``1.5 MiB``)."""
+    n = float(n)
+    for unit, factor in (("GiB", GIB), ("MiB", MIB), ("KiB", KIB)):
+        if abs(n) >= factor:
+            return f"{n / factor:.2f} {unit}"
+    return f"{n:.0f} B"
+
+
+def format_ms(ms: float) -> str:
+    """Render a simulated duration in the most readable unit."""
+    if ms >= 1000.0:
+        return f"{ms / 1000.0:.2f} s"
+    if ms >= 1.0:
+        return f"{ms:.1f} ms"
+    return f"{ms * 1000.0:.1f} us"

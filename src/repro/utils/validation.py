@@ -1,0 +1,58 @@
+"""Argument-validation helpers.
+
+These keep constructor bodies small and make error messages uniform across
+the library, which matters for a simulator whose misuse would otherwise
+surface as silent nonsense numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+
+
+def check_positive(name: str, value: float) -> float:
+    """Require ``value > 0``."""
+    if not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value}")
+    return value
+
+
+def check_nonneg_int(name: str, value: int) -> int:
+    """Require ``value`` to be a non-negative integer (numpy ints accepted)."""
+    if isinstance(value, (bool, np.bool_)) or not isinstance(value, (int, np.integer)):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+    return int(value)
+
+
+def check_probability(name: str, value: float) -> float:
+    """Require ``0 <= value <= 1``."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+    return float(value)
+
+
+def ensure_array(name: str, value: Any, dtype: np.dtype | type) -> np.ndarray:
+    """Convert ``value`` to a 1-D contiguous array of ``dtype``.
+
+    Values already of the right dtype are passed through without copying,
+    following the "views, not copies" guidance for numerical code.
+    """
+    arr = np.asarray(value)
+    if arr.ndim != 1:
+        raise GraphFormatError(f"{name} must be 1-D, got shape {arr.shape}")
+    if arr.dtype != np.dtype(dtype):
+        arr = arr.astype(dtype)
+    return np.ascontiguousarray(arr)
+
+
+def check_dtype(name: str, arr: np.ndarray, dtype: np.dtype | type) -> np.ndarray:
+    """Require ``arr`` to already have ``dtype`` (no silent conversion)."""
+    if arr.dtype != np.dtype(dtype):
+        raise TypeError(f"{name} must have dtype {np.dtype(dtype)}, got {arr.dtype}")
+    return arr

@@ -1,0 +1,54 @@
+"""Shared fixtures: small deterministic graphs used across the suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import generators
+from repro.graph.csr import CSRGraph
+from repro.graph.weights import uniform_int_weights
+
+
+@pytest.fixture
+def tiny_graph() -> CSRGraph:
+    """The paper's Fig. 3 example graph (6 vertices, skewed degrees).
+
+    Vertex 1 has out-degree 6 (split into two shadow vertices at K=4),
+    vertex 2 has out-degree 0, vertex 4 has out-degree 2.
+    """
+    edges = [
+        (0, 1), (0, 2),
+        (1, 0), (1, 2), (1, 3), (1, 4), (1, 5), (1, 2),  # dup dropped
+        (3, 4),
+        (4, 2), (4, 5),
+        (5, 1),
+    ]
+    src, dst = map(np.array, zip(*edges))
+    return CSRGraph.from_edges(src, dst, num_vertices=6)
+
+
+@pytest.fixture
+def skewed_graph() -> CSRGraph:
+    """A small RMAT graph with a pronounced degree skew."""
+    return generators.rmat(8, 2048, seed=3)
+
+
+@pytest.fixture
+def weighted_skewed_graph(skewed_graph) -> CSRGraph:
+    return skewed_graph.with_weights(
+        uniform_int_weights(skewed_graph.num_edges, seed=5)
+    )
+
+
+@pytest.fixture
+def path10() -> CSRGraph:
+    return generators.path_graph(10)
+
+
+def random_graph(n: int, m: int, seed: int, weighted: bool = False) -> CSRGraph:
+    """Helper (not a fixture) for parametrized randomized tests."""
+    g = generators.erdos_renyi(n, m, seed=seed)
+    if weighted:
+        g = g.with_weights(uniform_int_weights(g.num_edges, seed=seed + 1))
+    return g

@@ -1,0 +1,154 @@
+"""Tests for the traversal-problem definitions and CPU references."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms import BFS, SSSP, SSWP, cpu_reference, get_problem
+from repro.errors import ConfigError
+from repro.graph import generators
+from repro.graph.csr import CSRGraph
+from repro.graph.weights import attach_weights, unit_weights
+
+
+class TestRegistry:
+    def test_get_problem(self):
+        assert get_problem("bfs").name == "bfs"
+        assert get_problem("SSSP").name == "sssp"
+        assert get_problem("sswp").name == "sswp"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigError):
+            get_problem("pagerank")
+
+    def test_weight_requirements(self):
+        assert not BFS().needs_weights
+        assert SSSP().needs_weights
+        assert SSWP().needs_weights
+
+    def test_check_graph_rejects_unweighted(self, skewed_graph):
+        with pytest.raises(ConfigError):
+            SSSP().check_graph(skewed_graph)
+
+    def test_check_graph_rejects_nonpositive_weights(self, skewed_graph):
+        g = skewed_graph.with_weights(
+            np.zeros(skewed_graph.num_edges, dtype=np.float32)
+        )
+        with pytest.raises(ConfigError):
+            SSSP().check_graph(g)
+
+
+class TestBFSSemantics:
+    def test_initial_labels(self):
+        labels = BFS().initial_labels(4, 2)
+        assert labels[2] == 0
+        assert np.all(np.isinf(labels[[0, 1, 3]]))
+
+    def test_candidates_ignore_weights(self):
+        p = BFS()
+        src = np.array([0.0, 1.0], dtype=np.float32)
+        assert list(p.candidates(src, None)) == [1.0, 2.0]
+        assert list(p.candidates(src, np.array([9.0, 9.0]))) == [1.0, 2.0]
+
+    def test_scatter_reduce_is_min(self):
+        labels = np.array([5.0, 5.0], dtype=np.float32)
+        BFS().scatter_reduce(labels, np.array([0, 0, 1]),
+                             np.array([3.0, 4.0, 9.0], dtype=np.float32))
+        assert list(labels) == [3.0, 5.0]
+
+    def test_reached_mask(self):
+        p = BFS()
+        labels = np.array([0.0, 2.0, np.inf], dtype=np.float32)
+        assert list(p.reached_mask(labels, 0)) == [True, True, False]
+
+
+class TestSSWPSemantics:
+    def test_initial_labels(self):
+        labels = SSWP().initial_labels(3, 1)
+        assert labels[1] == np.inf
+        assert labels[0] == 0.0
+
+    def test_candidates_are_bottleneck(self):
+        p = SSWP()
+        src = np.array([np.inf, 5.0], dtype=np.float32)
+        w = np.array([3.0, 9.0], dtype=np.float32)
+        assert list(p.candidates(src, w)) == [3.0, 5.0]
+
+    def test_scatter_reduce_is_max(self):
+        labels = np.array([1.0], dtype=np.float32)
+        SSWP().scatter_reduce(labels, np.array([0, 0]),
+                              np.array([4.0, 2.0], dtype=np.float32))
+        assert labels[0] == 4.0
+
+    def test_candidates_need_weights(self):
+        with pytest.raises(ValueError):
+            SSWP().candidates(np.array([1.0]), None)
+        with pytest.raises(ValueError):
+            SSSP().candidates(np.array([1.0]), None)
+
+
+class TestCPUReferences:
+    def test_bfs_path(self):
+        g = generators.path_graph(5)
+        levels = cpu_reference.bfs_levels(g, 0)
+        assert list(levels) == [0, 1, 2, 3, 4]
+
+    def test_bfs_unreachable(self):
+        g = generators.star_graph(3, out=False)
+        levels = cpu_reference.bfs_levels(g, 0)
+        assert levels[0] == 0
+        assert np.all(np.isinf(levels[1:]))
+
+    def test_sssp_simple(self):
+        g = CSRGraph.from_edges([0, 0, 1], [1, 2, 2], num_vertices=3,
+                                weights=[1.0, 10.0, 2.0])
+        dist = cpu_reference.sssp_distances(g, 0)
+        assert list(dist) == [0.0, 1.0, 3.0]
+
+    def test_sswp_simple(self):
+        # Two routes to vertex 2: direct width 2, via vertex 1 width 5.
+        g = CSRGraph.from_edges([0, 0, 1], [2, 1, 2], num_vertices=3,
+                                weights=[2.0, 9.0, 5.0])
+        widths = cpu_reference.sswp_widths(g, 0)
+        assert widths[2] == 5.0
+        assert widths[1] == 9.0
+        assert widths[0] == np.inf
+
+    def test_sswp_needs_weights(self, skewed_graph):
+        with pytest.raises(ValueError):
+            cpu_reference.sswp_widths(skewed_graph, 0)
+
+    def test_dispatch(self, weighted_skewed_graph):
+        for name in ("bfs", "sssp", "sswp"):
+            labels = cpu_reference.reference_labels(weighted_skewed_graph, 0, name)
+            assert len(labels) == weighted_skewed_graph.num_vertices
+        with pytest.raises(ValueError):
+            cpu_reference.reference_labels(weighted_skewed_graph, 0, "nope")
+
+    def test_sssp_with_unit_weights_equals_bfs(self, skewed_graph):
+        g = skewed_graph.with_weights(unit_weights(skewed_graph.num_edges))
+        bfs = cpu_reference.bfs_levels(g, 1)
+        sssp = cpu_reference.sssp_distances(g, 1)
+        assert np.array_equal(bfs, sssp)
+
+    @given(seed=st.integers(0, 20))
+    @settings(max_examples=10, deadline=None)
+    def test_sssp_triangle_inequality(self, seed):
+        g = attach_weights(generators.erdos_renyi(40, 200, seed=seed),
+                           seed=seed)
+        dist = cpu_reference.sssp_distances(g, 0)
+        # For every edge (u, v, w): dist[v] <= dist[u] + w.
+        src = g.edge_sources()
+        ok = dist[g.column_indices] <= dist[src] + g.edge_weights + 1e-4
+        assert np.all(ok | np.isinf(dist[src]))
+
+    @given(seed=st.integers(0, 20))
+    @settings(max_examples=10, deadline=None)
+    def test_sswp_bottleneck_consistency(self, seed):
+        g = attach_weights(generators.erdos_renyi(40, 200, seed=seed),
+                           seed=seed)
+        width = cpu_reference.sswp_widths(g, 0)
+        # For every edge (u, v, w): width[v] >= min(width[u], w).
+        src = g.edge_sources()
+        lower = np.minimum(width[src], g.edge_weights)
+        assert np.all(width[g.column_indices] >= lower - 1e-4)

@@ -1,0 +1,84 @@
+"""Integration tests for the benchmark harness (quick-scale).
+
+These run real experiment modules against the cached surrogates, so they
+double as end-to-end integration tests of graph -> engine -> reporting.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.runner import BenchContext, run_cell
+from repro.bench import workloads
+from repro.bench.experiments import exp_table1, exp_fig7
+from repro.errors import ConfigError
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return BenchContext()
+
+
+class TestRunner:
+    def test_run_cell_etagraph(self, ctx):
+        cell = run_cell(ctx, "etagraph", "bfs", "livejournal")
+        assert not cell.oom
+        assert cell.total_ms > 0
+        assert cell.iterations > 3
+        assert "stats" in cell.extras
+
+    def test_run_cell_baseline(self, ctx):
+        cell = run_cell(ctx, "tigr", "bfs", "livejournal")
+        assert not cell.oom
+        assert cell.kernel_ms < cell.total_ms
+
+    def test_labels_agree_across_engines(self, ctx):
+        ours = run_cell(ctx, "etagraph", "sssp", "livejournal",
+                        keep_labels=True)
+        theirs = run_cell(ctx, "gunrock", "sssp", "livejournal",
+                          keep_labels=True)
+        assert np.allclose(ours.labels, theirs.labels)
+
+    def test_cell_text_styles(self, ctx):
+        cell = run_cell(ctx, "tigr", "bfs", "livejournal")
+        assert "/" in cell.cell_text()
+        assert "/" not in cell.cell_text(etagraph_style=True)
+
+    def test_unknown_variant_rejected(self, ctx):
+        with pytest.raises(ConfigError):
+            run_cell(ctx, "etagraph-turbo", "bfs", "livejournal")
+
+    def test_dataset_cache_reused(self, ctx):
+        g1, s1 = ctx.load("livejournal", False)
+        g2, s2 = ctx.load("livejournal", False)
+        assert g1 is g2 and s1 == s2
+
+    def test_workload_helpers(self):
+        assert workloads.dataset_names(quick=True) == workloads.QUICK_DATASETS
+        assert len(workloads.dataset_names(quick=False)) == 7
+        assert "cusha" not in workloads.frameworks_for("sswp")
+        assert "cusha" in workloads.frameworks_for("bfs")
+        assert workloads.bench_device().memory_capacity == 11 * 2**30 // 256
+
+
+class TestExperimentsQuick:
+    def test_table1_matches_paper(self, ctx):
+        report = exp_table1.run(ctx=ctx)
+        norm = report.data["normalized"]
+        assert norm["G-Shard"] == pytest.approx(1.87, abs=0.05)
+        assert norm["Edge List"] == pytest.approx(1.87, abs=0.05)
+        assert norm["VST"] == pytest.approx(1.32, abs=0.08)
+        assert "Table I" in report.text
+
+    def test_fig7_headline_directions(self, ctx):
+        report = exp_fig7.run(ctx=ctx)
+        norm = report.data["normalized"]
+        assert norm["global_read_transactions"] < 0.8
+        assert norm["ipc"] > 1.2
+        assert "Fig. 7" in report.text
+
+    def test_experiment_registry_complete(self):
+        from repro.bench.experiments import ALL_EXPERIMENTS
+        assert set(ALL_EXPERIMENTS) == {
+            "table1", "table2", "table3", "table4", "table5",
+            "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+        }

@@ -1,0 +1,125 @@
+"""Tests for ASCII chart rendering and JSON report export."""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.bench.export import load_report_dict, report_to_dict, save_report
+from repro.bench.runner import BenchContext, ExperimentReport
+from repro.utils.charts import bar_chart, sparkline, timeline_chart
+
+
+class TestBarChart:
+    def test_basic_shape(self):
+        out = bar_chart([1, 4, 2], labels=["a", "b", "c"], width=8)
+        lines = out.splitlines()
+        assert len(lines) == 3
+        assert lines[1].count("#") == 8  # the max fills the width
+
+    def test_proportionality(self):
+        out = bar_chart([2, 4], width=10)
+        a, b = out.splitlines()
+        assert b.count("#") == 2 * a.count("#")
+
+    def test_zero_values(self):
+        out = bar_chart([0, 5], width=10)
+        assert out.splitlines()[0].count("#") == 0
+
+    def test_title(self):
+        assert bar_chart([1], title="T").splitlines()[0] == "T"
+
+    def test_empty(self):
+        assert bar_chart([], title="T") == "T"
+
+
+class TestSparkline:
+    def test_length(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+    def test_monotone_ramp(self):
+        s = sparkline(list(range(9)))
+        assert s[0] < s[-1]
+
+    def test_flat_series(self):
+        s = sparkline([5, 5, 5])
+        assert len(set(s)) == 1
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+
+class TestTimelineChart:
+    def test_bands_cover_busy_ranges(self):
+        out = timeline_chart(
+            [("compute", 0, 10), ("transfer", 0, 5)], width=10
+        )
+        compute_line = next(l for l in out.splitlines() if "compute" in l)
+        transfer_line = next(l for l in out.splitlines() if "transfer" in l)
+        assert compute_line.count("=") == 10
+        assert transfer_line.count("=") == 5
+
+    def test_empty(self):
+        assert timeline_chart([], title="T") == "T"
+
+    def test_one_row_per_kind(self):
+        out = timeline_chart(
+            [("a", 0, 1), ("b", 0, 1), ("a", 2, 3)], width=10
+        )
+        assert len(out.splitlines()) == 2
+
+
+class TestExport:
+    def _report(self):
+        return ExperimentReport(
+            experiment="x",
+            title="X",
+            text="ignored",
+            data={
+                "array": np.arange(3),
+                "scalar": np.float32(1.5),
+                "inf": float("inf"),
+                ("tuple", "key"): {"nested": [np.int64(7)]},
+            },
+        )
+
+    def test_roundtrip(self, tmp_path):
+        p = tmp_path / "x.json"
+        save_report(self._report(), p)
+        loaded = load_report_dict(p)
+        assert loaded["experiment"] == "x"
+        assert loaded["data"]["array"] == [0, 1, 2]
+        assert loaded["data"]["scalar"] == 1.5
+        assert loaded["data"]["tuple/key"]["nested"] == [7]
+
+    def test_nonfinite_values_survive(self):
+        d = report_to_dict(self._report())
+        json.dumps(d)  # must not raise
+        assert d["data"]["inf"] == "inf" or math.isinf(d["data"]["inf"])
+
+    def test_real_experiment_exports(self, tmp_path):
+        from repro.bench.experiments import exp_fig3
+
+        report = exp_fig3.run()
+        p = tmp_path / "fig3.json"
+        save_report(report, p)
+        loaded = load_report_dict(p)
+        assert loaded["data"]["ids"] == [1, 1, 4]
+
+    def test_cli_json_dir(self, tmp_path, capsys):
+        from repro.bench.__main__ import main
+
+        assert main(["fig3", "--json-dir", str(tmp_path)]) == 0
+        assert (tmp_path / "fig3.json").exists()
+
+    def test_dataclass_flattening(self):
+        from repro.bench.export import _jsonable
+        from repro.core.stats import IterationStats
+
+        out = _jsonable(IterationStats(
+            index=0, active_vertices=1, shadow_vertices=1, edges_scanned=2,
+            updates=1, newly_visited=1, kernel_ms=0.1, transform_ms=0.0,
+            transfer_ms=0.0, elapsed_end_ms=0.1,
+        ))
+        assert out["active_vertices"] == 1

@@ -1,0 +1,77 @@
+"""Tests for the run-comparison tool."""
+
+import json
+
+import pytest
+
+from repro.bench.compare import Drift, compare_dirs, compare_reports, render
+
+
+def report(name, data):
+    return {"experiment": name, "title": name, "data": data}
+
+
+class TestCompareReports:
+    def test_no_drift(self):
+        a = report("x", {"v": 1.0, "nested": {"w": [1, 2]}})
+        assert compare_reports(a, a) == []
+
+    def test_detects_drift(self):
+        a = report("x", {"v": 100.0})
+        b = report("x", {"v": 120.0})
+        drifts = compare_reports(a, b)
+        assert len(drifts) == 1
+        assert drifts[0].rel_change == pytest.approx(0.2)
+
+    def test_tolerance_respected(self):
+        a = report("x", {"v": 100.0})
+        b = report("x", {"v": 103.0})
+        assert compare_reports(a, b, rel_tolerance=0.05) == []
+        assert len(compare_reports(a, b, rel_tolerance=0.01)) == 1
+
+    def test_nested_paths(self):
+        a = report("x", {"grid": {"lj": [1.0, 2.0]}})
+        b = report("x", {"grid": {"lj": [1.0, 4.0]}})
+        drifts = compare_reports(a, b)
+        assert drifts[0].path == "grid.lj[1]"
+
+    def test_missing_keys_ignored(self):
+        a = report("x", {"v": 1.0, "only_a": 5.0})
+        b = report("x", {"v": 1.0, "only_b": 9.0})
+        assert compare_reports(a, b) == []
+
+    def test_booleans_not_numeric(self):
+        a = report("x", {"flag": True})
+        b = report("x", {"flag": False})
+        assert compare_reports(a, b) == []
+
+    def test_zero_baseline(self):
+        a = report("x", {"v": 0.0})
+        b = report("x", {"v": 1.0})
+        drifts = compare_reports(a, b)
+        assert len(drifts) == 1
+        assert drifts[0].rel_change == float("inf")
+
+
+class TestCompareDirs:
+    def test_directory_comparison(self, tmp_path):
+        dir_a = tmp_path / "a"
+        dir_b = tmp_path / "b"
+        dir_a.mkdir()
+        dir_b.mkdir()
+        (dir_a / "t.json").write_text(json.dumps(report("t", {"v": 1.0})))
+        (dir_b / "t.json").write_text(json.dumps(report("t", {"v": 2.0})))
+        (dir_a / "only_a.json").write_text(json.dumps(report("o", {"v": 1})))
+        drifts = compare_dirs(dir_a, dir_b)
+        assert len(drifts) == 1
+        assert drifts[0].experiment == "t"
+
+
+class TestRender:
+    def test_no_drift_message(self):
+        assert "no drift" in render([])
+
+    def test_table_output(self):
+        d = Drift(experiment="x", path="v", before=1.0, after=2.0)
+        out = render([d])
+        assert "x" in out and "+100.0%" in out

@@ -1,0 +1,177 @@
+"""Tests for the SMP planner, frontier buffers, config and stats."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import EtaGraphConfig, MemoryMode
+from repro.core.frontier import FrontierBuffers
+from repro.core.smp import plan_prefetch
+from repro.core.stats import IterationStats, TraversalStats
+from repro.core.udc import degree_cut
+from repro.errors import ConfigError, InvalidLaunchError
+from repro.gpu.device import GTX_1080TI
+from repro.gpu.memory import DeviceMemory
+
+
+class TestSMPPlanner:
+    def test_bins(self, tiny_graph):
+        # K=4: vertex 1 splits into degree-4 (full bin) + degree-1 shadows.
+        shadows = degree_cut(np.array([1, 4]), tiny_graph.row_offsets, 4)
+        plan = plan_prefetch(shadows, tiny_graph.row_offsets, 4)
+        assert plan.full_bin_count == 1
+        assert plan.words_per_thread == 4
+
+    def test_overfetch_clamped_to_owner(self, tiny_graph):
+        # Vertex 4 has degree 2 and sits at the array end region; the K-1
+        # plan (3 words) must be clamped to its adjacency end.
+        shadows = degree_cut(np.array([4]), tiny_graph.row_offsets, 4)
+        plan = plan_prefetch(shadows, tiny_graph.row_offsets, 4)
+        owner_end = tiny_graph.row_offsets[5]
+        assert plan.planned_words[0] <= owner_end - shadows.starts[0]
+        assert plan.planned_words[0] >= shadows.degrees[0]
+
+    def test_overfetch_words(self, skewed_graph):
+        shadows = degree_cut(
+            np.arange(skewed_graph.num_vertices), skewed_graph.row_offsets, 8
+        )
+        plan = plan_prefetch(shadows, skewed_graph.row_offsets, 8)
+        over = plan.overfetch_words(shadows.degrees)
+        assert over >= 0
+        assert plan.total_prefetch_words == shadows.total_edges + over
+
+    def test_empty_plan(self, skewed_graph):
+        shadows = degree_cut(np.array([], dtype=np.int64),
+                             skewed_graph.row_offsets, 8)
+        plan = plan_prefetch(shadows, skewed_graph.row_offsets, 8)
+        assert plan.total_prefetch_words == 0
+        assert plan.full_bin_count == 0
+
+    def test_k1(self, skewed_graph):
+        shadows = degree_cut(np.array([0, 1, 2]), skewed_graph.row_offsets, 1)
+        plan = plan_prefetch(shadows, skewed_graph.row_offsets, 1)
+        assert np.all(plan.planned_words == 1)
+
+
+class TestFrontierBuffers:
+    @pytest.fixture
+    def bufs(self):
+        mem = DeviceMemory(GTX_1080TI)
+        return FrontierBuffers(mem, num_vertices=100, num_edges=1000,
+                               degree_limit=10)
+
+    def test_initial_empty(self, bufs):
+        assert bufs.is_empty
+
+    def test_seed(self, bufs):
+        bufs.seed(5)
+        assert list(bufs.active) == [5]
+
+    def test_seed_out_of_range(self, bufs):
+        with pytest.raises(InvalidLaunchError):
+            bufs.seed(100)
+
+    def test_publish_and_reset(self, bufs):
+        bufs.publish(np.array([1, 2, 3]))
+        assert len(bufs.active) == 3
+        bufs.reset()
+        assert bufs.is_empty
+
+    def test_publish_too_large_rejected(self, bufs):
+        with pytest.raises(InvalidLaunchError):
+            bufs.publish(np.arange(101))
+
+    def test_vas_capacity_is_worst_case(self, bufs):
+        assert bufs.capacity_shadows == 100 + 1000 // 10 + 1
+        assert len(bufs.virt_act_set.data) == 3 * bufs.capacity_shadows
+
+    def test_device_bytes_accounted(self, bufs):
+        expected = 100 * 4 + 3 * bufs.capacity_shadows * 4 + 100
+        assert bufs.device_bytes() == expected
+
+
+class TestConfig:
+    def test_defaults(self):
+        cfg = EtaGraphConfig()
+        assert cfg.degree_limit == 32
+        assert cfg.smp
+        assert cfg.memory_mode is MemoryMode.UM_PREFETCH
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ConfigError):
+            EtaGraphConfig(degree_limit=0)
+        with pytest.raises(ConfigError):
+            EtaGraphConfig(threads_per_block=16)
+        with pytest.raises(ConfigError):
+            EtaGraphConfig(max_iterations=0)
+        with pytest.raises(ConfigError):
+            EtaGraphConfig(overlap_efficiency=1.5)
+
+    def test_without_smp(self):
+        assert not EtaGraphConfig().without_smp().smp
+
+    def test_with_memory_mode_string(self):
+        cfg = EtaGraphConfig().with_memory_mode("device")
+        assert cfg.memory_mode is MemoryMode.DEVICE
+        assert not cfg.memory_mode.uses_um
+
+    def test_uses_um(self):
+        assert MemoryMode.UM_PREFETCH.uses_um
+        assert MemoryMode.UM_ON_DEMAND.uses_um
+        assert not MemoryMode.DEVICE.uses_um
+
+
+def _iter(i, active, newly, t, **kw):
+    defaults = dict(
+        index=i, active_vertices=active, shadow_vertices=active,
+        edges_scanned=active * 3, updates=newly, newly_visited=newly,
+        kernel_ms=0.5, transform_ms=0.1, transfer_ms=0.0, elapsed_end_ms=t,
+    )
+    defaults.update(kw)
+    return IterationStats(**defaults)
+
+
+class TestStats:
+    def test_activation_fraction(self):
+        stats = TraversalStats(num_vertices=10)
+        stats.record(_iter(0, 1, 3, 1.0))
+        stats.record(_iter(1, 3, 4, 2.0))
+        # 1 (source) + 3 + 4 visited of 10.
+        assert stats.activation_fraction() == pytest.approx(0.8)
+
+    def test_active_per_iteration(self):
+        stats = TraversalStats(num_vertices=10)
+        stats.record(_iter(0, 1, 2, 1.0))
+        stats.record(_iter(1, 2, 0, 2.0))
+        assert list(stats.active_per_iteration()) == [1, 2]
+
+    def test_cumulative_fraction_monotone(self):
+        stats = TraversalStats(num_vertices=100)
+        for i, n in enumerate([1, 5, 20, 10, 2]):
+            stats.record(_iter(i, n, n, float(i)))
+        cum = stats.cumulative_active_fraction()
+        assert np.all(np.diff(cum) >= 0)
+        assert cum[-1] == pytest.approx(1.0)
+
+    def test_visited_over_time(self):
+        stats = TraversalStats(num_vertices=10)
+        stats.record(_iter(0, 1, 2, 1.5))
+        series = stats.visited_over_time()
+        assert series == [(1.5, 3)]
+
+    def test_linearity_of_linear_series(self):
+        stats = TraversalStats(num_vertices=1000)
+        for i in range(10):
+            stats.record(_iter(i, 10, 10, float(i + 1)))
+        assert stats.visited_growth_linearity() > 0.999
+
+    def test_linearity_degenerate(self):
+        stats = TraversalStats(num_vertices=10)
+        assert stats.visited_growth_linearity() == 1.0
+
+    def test_totals(self):
+        stats = TraversalStats(num_vertices=10)
+        stats.record(_iter(0, 1, 1, 1.0))
+        stats.record(_iter(1, 1, 0, 2.0))
+        assert stats.num_iterations == 2
+        assert stats.total_edges_scanned == 6
+        assert stats.total_visited == 2

@@ -1,0 +1,122 @@
+"""Tests for Unified Degree Cut — Definition 3 and Theorems 1/2 as code."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.udc import ShadowVertices, degree_cut, worst_case_shadow_count
+from repro.errors import ConfigError
+from repro.graph import generators
+from repro.utils.ragged import ragged_gather_indices
+
+
+class TestFig3Example:
+    """The paper's Fig. 3: K=4, active = {1, 2, 4}."""
+
+    def test_example(self, tiny_graph):
+        shadows = degree_cut(np.array([1, 2, 4]), tiny_graph.row_offsets, 4)
+        # Vertex 1 (degree 5) -> two shadows; vertex 2 (degree 0) -> none;
+        # vertex 4 (degree 2 <= K) -> itself.
+        assert len(shadows) == 3
+        assert list(shadows.ids) == [1, 1, 4]
+        assert list(shadows.degrees) == [4, 1, 2]
+
+    def test_shadow_slices_cover_vertex1(self, tiny_graph):
+        shadows = degree_cut(np.array([1]), tiny_graph.row_offsets, 4)
+        lo = tiny_graph.row_offsets[1]
+        hi = tiny_graph.row_offsets[2]
+        covered = []
+        for s, d in zip(shadows.starts, shadows.degrees):
+            covered.extend(range(s, s + d))
+        assert covered == list(range(lo, hi))
+
+
+class TestInvariants:
+    def test_zero_degree_filtered(self, tiny_graph):
+        shadows = degree_cut(np.array([2]), tiny_graph.row_offsets, 4)
+        assert len(shadows) == 0
+
+    def test_empty_active_set(self, tiny_graph):
+        shadows = degree_cut(np.array([], dtype=np.int64),
+                             tiny_graph.row_offsets, 4)
+        assert len(shadows) == 0
+        assert shadows.total_edges == 0
+
+    def test_k1_gives_one_shadow_per_edge(self, skewed_graph):
+        active = np.arange(skewed_graph.num_vertices)
+        shadows = degree_cut(active, skewed_graph.row_offsets, 1)
+        assert len(shadows) == skewed_graph.num_edges
+        assert shadows.degrees.max(initial=0) == 1
+
+    def test_huge_k_gives_one_shadow_per_vertex(self, skewed_graph):
+        active = np.arange(skewed_graph.num_vertices)
+        shadows = degree_cut(active, skewed_graph.row_offsets, 10**6)
+        nonzero = int((skewed_graph.out_degrees() > 0).sum())
+        assert len(shadows) == nonzero
+
+    def test_invalid_k_rejected(self, skewed_graph):
+        with pytest.raises(ConfigError):
+            degree_cut(np.array([0]), skewed_graph.row_offsets, 0)
+
+    def test_validate_against(self, skewed_graph):
+        active = np.arange(skewed_graph.num_vertices)
+        shadows = degree_cut(active, skewed_graph.row_offsets, 7)
+        shadows.validate_against(skewed_graph.row_offsets, 7)
+
+    def test_validate_catches_violation(self, skewed_graph):
+        shadows = ShadowVertices(
+            ids=np.array([0], dtype=np.int32),
+            starts=np.array([0]),
+            degrees=np.array([10**6]),
+        )
+        with pytest.raises(AssertionError):
+            shadows.validate_against(skewed_graph.row_offsets, 4)
+
+    @given(k=st.integers(1, 40), seed=st.integers(0, 10))
+    @settings(max_examples=30, deadline=None)
+    def test_partition_properties(self, k, seed):
+        """Definition 3: shadows of each vertex cover its edge set exactly
+        once with per-shadow degree <= K (union + disjointness)."""
+        g = generators.rmat(7, 900, seed=seed)
+        rng = np.random.default_rng(seed)
+        active = np.unique(rng.integers(0, g.num_vertices, size=20))
+        shadows = degree_cut(active, g.row_offsets, k)
+        assert shadows.degrees.max(initial=0) <= k
+        assert shadows.degrees.min(initial=1) >= 1
+        # Union of slices == union of active adjacencies, no overlap.
+        covered = ragged_gather_indices(shadows.starts, shadows.degrees)
+        expected = []
+        for v in active:
+            expected.extend(range(g.row_offsets[v], g.row_offsets[v + 1]))
+        assert sorted(covered.tolist()) == expected
+        assert len(np.unique(covered)) == len(covered)
+
+    @given(k=st.integers(1, 40))
+    @settings(max_examples=20, deadline=None)
+    def test_theorem1_edge_preserved(self, k):
+        """Theorem 1: every (v, u) edge appears in exactly one shadow of v."""
+        g = generators.star_graph(77)
+        shadows = degree_cut(np.array([0]), g.row_offsets, k)
+        edges = ragged_gather_indices(shadows.starts, shadows.degrees)
+        neighbors = g.column_indices[edges]
+        assert sorted(neighbors.tolist()) == sorted(g.neighbors(0).tolist())
+
+
+class TestWorstCaseBound:
+    def test_bound_holds(self, skewed_graph):
+        g = skewed_graph
+        for k in (1, 2, 5, 16):
+            shadows = degree_cut(
+                np.arange(g.num_vertices), g.row_offsets, k
+            )
+            assert len(shadows) <= worst_case_shadow_count(
+                g.num_vertices, g.num_edges, k
+            )
+
+    def test_bound_rejects_bad_k(self):
+        with pytest.raises(ConfigError):
+            worst_case_shadow_count(10, 100, 0)
+
+    def test_ends(self, tiny_graph):
+        shadows = degree_cut(np.array([1]), tiny_graph.row_offsets, 4)
+        assert np.array_equal(shadows.ends(), shadows.starts + shadows.degrees)

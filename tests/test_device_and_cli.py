@@ -1,0 +1,65 @@
+"""Tests for DeviceSpec helpers and the bench CLI."""
+
+import pytest
+
+from repro.bench.__main__ import main as bench_main
+from repro.gpu.device import DeviceSpec, GTX_1080TI
+from repro.utils.units import GIB
+
+
+class TestDeviceSpec:
+    def test_preset_matches_paper_hardware(self):
+        spec = GTX_1080TI
+        assert spec.memory_capacity == 11 * GIB
+        assert spec.num_sms == 28
+        assert spec.warp_size == 32
+        assert spec.l2_cache_bytes == 2816 * 1024  # "2800 KB" in the paper
+
+    def test_cycles_ms_roundtrip(self):
+        spec = GTX_1080TI
+        assert spec.ms_to_cycles(spec.cycles_to_ms(12345)) == pytest.approx(12345)
+
+    def test_bytes_time(self):
+        spec = GTX_1080TI
+        # 484 GB/s: 484e9 bytes in 1000 ms.
+        assert spec.dram_time_ms(484e9) == pytest.approx(1000.0)
+        assert spec.l2_time_ms(0) == 0.0
+
+    def test_pcie_time_includes_latency(self):
+        spec = GTX_1080TI
+        assert spec.pcie_time_ms(0) == pytest.approx(
+            spec.pcie_latency_us * 1e-3
+        )
+
+    def test_with_capacity_preserves_rest(self):
+        scaled = GTX_1080TI.with_capacity(1000)
+        assert scaled.memory_capacity == 1000
+        assert scaled.num_sms == GTX_1080TI.num_sms
+        assert scaled.name == GTX_1080TI.name
+
+    def test_spec_is_frozen(self):
+        with pytest.raises(Exception):
+            GTX_1080TI.num_sms = 1  # type: ignore[misc]
+
+    def test_total_unified_cache(self):
+        assert GTX_1080TI.total_unified_cache_bytes == \
+            GTX_1080TI.unified_cache_bytes * 28
+
+
+class TestBenchCLI:
+    def test_list(self, capsys):
+        assert bench_main([]) == 0
+        out = capsys.readouterr().out
+        assert "table3" in out and "fig7" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert bench_main(["nope"]) == 2
+
+    def test_run_fig3(self, capsys):
+        assert bench_main(["fig3"]) == 0
+        out = capsys.readouterr().out
+        assert "virtual active set" in out
+
+    def test_run_table1_quick(self, capsys):
+        assert bench_main(["table1", "--quick"]) == 0
+        assert "Table I" in capsys.readouterr().out

@@ -1,0 +1,73 @@
+"""Tests for direction-optimized BFS."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import EtaGraph
+from repro.core.dobfs import direction_optimized_bfs
+from repro.errors import ConfigError, InvalidLaunchError
+from repro.graph import generators
+
+
+@pytest.fixture(scope="module")
+def social():
+    g = generators.rmat(11, 60_000, seed=13)
+    src = int(np.argmax(g.out_degrees()))
+    return g, src
+
+
+class TestCorrectness:
+    def test_matches_plain_bfs(self, social):
+        g, src = social
+        plain = EtaGraph(g).bfs(src).labels
+        hybrid = direction_optimized_bfs(g, src).labels
+        assert np.array_equal(plain, hybrid)
+
+    @given(seed=st.integers(0, 20), alpha=st.sampled_from([2.0, 15.0, 100.0]))
+    @settings(max_examples=12, deadline=None)
+    def test_matches_for_any_switch_point(self, seed, alpha):
+        g = generators.erdos_renyi(300, 3000, seed=seed)
+        plain = EtaGraph(g).bfs(0).labels
+        hybrid = direction_optimized_bfs(g, 0, alpha=alpha).labels
+        assert np.array_equal(plain, hybrid)
+
+    def test_path_graph_never_pulls(self):
+        g = generators.path_graph(40)
+        result = direction_optimized_bfs(g, 0)
+        assert result.pull_iterations == 0
+        assert list(result.labels) == list(range(40))
+
+    def test_dense_expansion_pulls(self, social):
+        g, src = social
+        result = direction_optimized_bfs(g, src, alpha=50.0)
+        assert result.pull_iterations > 0
+        assert len(result.directions) == result.iterations
+
+    def test_invalid_params_rejected(self, social):
+        g, src = social
+        with pytest.raises(ConfigError):
+            direction_optimized_bfs(g, src, alpha=0)
+        with pytest.raises(InvalidLaunchError):
+            direction_optimized_bfs(g, g.num_vertices + 1)
+
+
+class TestCostShape:
+    def test_pull_saves_kernel_time_on_skewed_graphs(self, social):
+        g, src = social
+        plain = EtaGraph(g).bfs(src)
+        hybrid = direction_optimized_bfs(g, src)
+        assert hybrid.kernel_ms < plain.kernel_ms
+
+    def test_csc_costs_device_memory(self, social):
+        g, src = social
+        hybrid = direction_optimized_bfs(g, src)
+        # CSR + CSC + labels: roughly double the topology footprint.
+        assert hybrid.device_bytes > 2 * g.nbytes
+
+    def test_forced_push_never_pulls(self, social):
+        g, src = social
+        # Beamer's alpha: pull when frontier edges > |E| / alpha, so a
+        # tiny alpha makes the threshold unreachable.
+        result = direction_optimized_bfs(g, src, alpha=1e-6)
+        assert result.pull_iterations == 0

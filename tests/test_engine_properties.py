@@ -1,0 +1,118 @@
+"""Property-based invariants of the traversal engine.
+
+These check structural truths that must hold for *any* graph, source and
+configuration — the Definition/Theorem layer of the paper as hypotheses.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import EtaGraph, EtaGraphConfig, MemoryMode
+from repro.graph import generators
+from repro.graph.builder import build_csr_from_edges
+from repro.graph.weights import attach_weights
+
+
+@st.composite
+def small_graphs(draw):
+    n = draw(st.integers(min_value=2, max_value=60))
+    m = draw(st.integers(min_value=0, max_value=300))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, n, size=m)
+    dst = rng.integers(0, n, size=m)
+    keep = src != dst
+    g = build_csr_from_edges(src[keep], dst[keep], num_vertices=n)
+    source = draw(st.integers(min_value=0, max_value=n - 1))
+    return g, source
+
+
+class TestBFSInvariants:
+    @given(small_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_edge_triangle_inequality(self, gs):
+        """For every edge (u, v): level[v] <= level[u] + 1."""
+        g, source = gs
+        labels = EtaGraph(g).bfs(source).labels
+        src = g.edge_sources()
+        dst = g.column_indices
+        ok = labels[dst] <= labels[src] + 1
+        assert np.all(ok | np.isinf(labels[src]))
+
+    @given(small_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_source_level_zero_and_reachability(self, gs):
+        g, source = gs
+        result = EtaGraph(g).bfs(source)
+        assert result.labels[source] == 0
+        # Finite labels == visited count == activation total.
+        finite = int(np.isfinite(result.labels).sum())
+        assert finite == result.visited
+
+    @given(small_graphs())
+    @settings(max_examples=25, deadline=None)
+    def test_deterministic_across_runs(self, gs):
+        g, source = gs
+        a = EtaGraph(g).bfs(source)
+        b = EtaGraph(g).bfs(source)
+        assert np.array_equal(a.labels, b.labels)
+        assert a.total_ms == pytest.approx(b.total_ms)
+
+    @given(small_graphs())
+    @settings(max_examples=25, deadline=None)
+    def test_unit_weight_sssp_equals_bfs(self, gs):
+        g, source = gs
+        gw = attach_weights(g, kind="unit")
+        bfs = EtaGraph(g).bfs(source).labels
+        sssp = EtaGraph(gw).sssp(source).labels
+        assert np.array_equal(bfs, sssp)
+
+
+class TestConfigInvariance:
+    """Theorem 2 writ large: no configuration knob may change labels."""
+
+    @given(
+        small_graphs(),
+        st.sampled_from([1, 3, 32, 500]),
+        st.booleans(),
+        st.sampled_from(list(MemoryMode)),
+        st.sampled_from(["in_core", "out_of_core"]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_labels_invariant_under_config(self, gs, k, smp, mode, udc):
+        g, source = gs
+        gw = attach_weights(g, seed=1)
+        baseline = EtaGraph(gw).sswp(source).labels
+        cfg = EtaGraphConfig(
+            degree_limit=k, smp=smp, memory_mode=mode, udc_mode=udc
+        )
+        labels = EtaGraph(gw, cfg).sswp(source).labels
+        assert np.array_equal(baseline, labels)
+
+
+class TestMonotoneConvergence:
+    @given(small_graphs())
+    @settings(max_examples=25, deadline=None)
+    def test_adding_edges_never_hurts_bfs(self, gs):
+        """Adding an edge can only decrease (or keep) BFS levels."""
+        g, source = gs
+        before = EtaGraph(g).bfs(source).labels
+        # Add one edge from the source to the last vertex.
+        src = np.concatenate([g.edge_sources(), [source]])
+        dst = np.concatenate([g.column_indices, [g.num_vertices - 1]])
+        g2 = build_csr_from_edges(src, dst, num_vertices=g.num_vertices)
+        after = EtaGraph(g2).bfs(source).labels
+        assert np.all(after <= before)
+
+    def test_iterations_bounded_by_depth_times_weight_spread(self):
+        """SSSP iteration count stays near BFS depth for narrow weights."""
+        g = generators.web_chain(4000, 40_000, depth=20, seed=3)
+        gw = g.with_weights(
+            np.random.default_rng(0).integers(
+                1, 3, size=g.num_edges
+            ).astype(np.float32)
+        )
+        bfs_iters = EtaGraph(g).bfs(0).iterations
+        sssp_iters = EtaGraph(gw).sssp(0).iterations
+        assert sssp_iters <= 3 * bfs_iters

@@ -1,0 +1,69 @@
+"""Quick-mode smoke tests for every experiment module.
+
+The benchmark suite runs these at full scale with hard shape assertions;
+this file guarantees that plain ``pytest tests/`` also exercises each
+experiment's code path (structure, keys, rendering) on the small
+datasets.
+"""
+
+import pytest
+
+from repro.bench.experiments import ALL_EXPERIMENTS
+from repro.bench.runner import BenchContext
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return BenchContext()
+
+
+class TestQuickRuns:
+    def test_table2_structure(self, ctx):
+        report = ALL_EXPERIMENTS["table2"](quick=True, ctx=ctx)
+        assert set(report.data["summaries"]) == {
+            "slashdot", "livejournal", "com-orkut",
+        }
+        assert "Table II" in report.text
+
+    def test_table4_structure(self, ctx):
+        report = ALL_EXPERIMENTS["table4"](quick=True, ctx=ctx)
+        for ds, row in report.data.items():
+            assert row["iterations"] > 0
+            assert 0 < row["act_percent"] <= 100
+
+    def test_table5_structure(self, ctx):
+        report = ALL_EXPERIMENTS["table5"](quick=True, ctx=ctx)
+        # Quick mode keeps the two quick datasets, both UMP settings.
+        umps = {k[1] for k in report.data}
+        assert umps == {True, False}
+        for row in report.data.values():
+            assert row["count"] > 0
+
+    def test_fig4_structure(self, ctx):
+        report = ALL_EXPERIMENTS["fig4"](quick=True, ctx=ctx)
+        for ds, row in report.data.items():
+            assert 0 <= row["overlap_fraction"] <= 1
+            assert row["transfer_series"]
+        assert "activity over time" in report.text  # the ASCII bands
+
+    def test_fig5_structure(self, ctx):
+        report = ALL_EXPERIMENTS["fig5"](quick=True, ctx=ctx)
+        for row in report.data.values():
+            assert row["series"]
+            assert 0 <= row["r_squared"] <= 1
+
+    def test_fig6_structure(self, ctx):
+        report = ALL_EXPERIMENTS["fig6"](quick=True, ctx=ctx)
+        for row in report.data.values():
+            assert row["w/o SMP"] is not None and row["w/o SMP"] > 0.8
+            assert row["w/o UM"] is not None
+
+    def test_fig2_chart_rendered(self, ctx):
+        report = ALL_EXPERIMENTS["fig2"](quick=True, ctx=ctx)
+        assert "active vertices per iteration" in report.text
+        assert "#" in report.text
+
+    def test_all_experiments_callable(self):
+        assert len(ALL_EXPERIMENTS) == 11
+        for name, fn in ALL_EXPERIMENTS.items():
+            assert callable(fn), name

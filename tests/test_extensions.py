@@ -1,0 +1,112 @@
+"""Tests for the extension features: Zero-Copy memory and out-of-core UDC
+(the paper's Section III-A / IV-B design alternatives)."""
+
+import numpy as np
+import pytest
+
+from repro import EtaGraph, EtaGraphConfig, MemoryMode
+from repro.algorithms import cpu_reference
+from repro.core.udc import ShadowTable, degree_cut
+from repro.errors import ConfigError
+from repro.graph import generators
+from repro.graph.weights import attach_weights
+
+
+@pytest.fixture(scope="module")
+def social():
+    g = attach_weights(generators.rmat(10, 12000, seed=31), seed=32)
+    src = int(np.argmax(g.out_degrees()))
+    return g, src
+
+
+class TestZeroCopy:
+    def test_labels_exact(self, social):
+        g, src = social
+        cfg = EtaGraphConfig(memory_mode=MemoryMode.ZERO_COPY)
+        result = EtaGraph(g, cfg).sssp(src)
+        assert np.allclose(result.labels,
+                           cpu_reference.sssp_distances(g, src))
+
+    def test_no_device_topology_footprint(self, social):
+        g, src = social
+        cfg = EtaGraphConfig(memory_mode=MemoryMode.ZERO_COPY)
+        zc = EtaGraph(g, cfg).bfs(src)
+        dev = EtaGraph(g, EtaGraphConfig(memory_mode=MemoryMode.DEVICE)).bfs(src)
+        # Zero-copy keeps topology off the device entirely.
+        assert zc.device_bytes < dev.device_bytes
+
+    def test_slower_than_um_for_traversal(self):
+        """Section IV-B's conclusion: UM beats Zero-Copy for read-only
+        topology because pages migrate once instead of re-crossing PCIe
+        every iteration.  Needs a non-trivial graph — on tiny inputs the
+        UM allocation overhead dominates and zero-copy can win."""
+        g = attach_weights(generators.rmat(13, 300_000, seed=33), seed=34)
+        src = int(np.argmax(g.out_degrees()))
+        zc = EtaGraph(
+            g, EtaGraphConfig(memory_mode=MemoryMode.ZERO_COPY)
+        ).sssp(src)
+        um = EtaGraph(g).sssp(src)
+        assert um.total_ms < zc.total_ms
+
+    def test_no_migrations(self, social):
+        g, src = social
+        cfg = EtaGraphConfig(memory_mode=MemoryMode.ZERO_COPY)
+        result = EtaGraph(g, cfg).bfs(src)
+        assert result.profiler.migration_sizes == []
+
+    def test_uses_um_flag(self):
+        assert not MemoryMode.ZERO_COPY.uses_um
+
+
+class TestShadowTable:
+    def test_select_matches_in_core(self, social):
+        g, _ = social
+        table = ShadowTable(g.row_offsets, degree_limit=8)
+        rng = np.random.default_rng(1)
+        active = np.unique(rng.integers(0, g.num_vertices, size=50))
+        expected = degree_cut(active, g.row_offsets, 8)
+        got = table.select(active)
+        assert np.array_equal(got.ids, expected.ids)
+        assert np.array_equal(got.starts, expected.starts)
+        assert np.array_equal(got.degrees, expected.degrees)
+
+    def test_covers_all_vertices(self, social):
+        g, _ = social
+        table = ShadowTable(g.row_offsets, degree_limit=8)
+        nonzero = int((g.out_degrees() > 0).sum())
+        assert (table.shadow_count > 0).sum() == nonzero
+        assert table.select(np.arange(g.num_vertices)).total_edges == g.num_edges
+
+    def test_table_words(self, social):
+        g, _ = social
+        table = ShadowTable(g.row_offsets, degree_limit=8)
+        assert table.table_words() == 3 * len(table) + 2 * g.num_vertices
+
+    def test_empty_selection(self, social):
+        g, _ = social
+        table = ShadowTable(g.row_offsets, degree_limit=8)
+        assert len(table.select(np.empty(0, dtype=np.int64))) == 0
+
+
+class TestOutOfCoreEngine:
+    def test_labels_exact(self, social):
+        g, src = social
+        cfg = EtaGraphConfig(udc_mode="out_of_core")
+        result = EtaGraph(g, cfg).sswp(src)
+        assert np.allclose(result.labels, cpu_reference.sswp_widths(g, src))
+
+    def test_extra_device_memory(self, social):
+        g, src = social
+        ooc = EtaGraph(g, EtaGraphConfig(udc_mode="out_of_core")).bfs(src)
+        ic = EtaGraph(g).bfs(src)
+        assert ooc.device_bytes > ic.device_bytes
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ConfigError):
+            EtaGraphConfig(udc_mode="sideways")
+
+    def test_iteration_counts_unchanged(self, social):
+        g, src = social
+        ooc = EtaGraph(g, EtaGraphConfig(udc_mode="out_of_core")).bfs(src)
+        ic = EtaGraph(g).bfs(src)
+        assert ooc.iterations == ic.iterations

@@ -1,0 +1,130 @@
+"""Tests for the coalescing model: known access patterns -> known
+transaction counts (Section V-A arithmetic)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.gpu import coalescing
+
+
+class TestCoalesce:
+    def test_fully_coalesced_warp(self):
+        # 32 lanes reading consecutive 4-byte words: 128 B = 4 sectors.
+        addrs = np.arange(32) * 4
+        keys = np.zeros(32, dtype=np.int64)
+        assert len(coalescing.coalesce(addrs, keys)) == 4
+
+    def test_fully_scattered_warp(self):
+        # 32 lanes reading addresses one page apart: 32 transactions.
+        addrs = np.arange(32) * 4096
+        keys = np.zeros(32, dtype=np.int64)
+        assert len(coalescing.coalesce(addrs, keys)) == 32
+
+    def test_same_address_merges(self):
+        addrs = np.zeros(32, dtype=np.int64)
+        keys = np.zeros(32, dtype=np.int64)
+        assert len(coalescing.coalesce(addrs, keys)) == 1
+
+    def test_different_groups_do_not_merge(self):
+        addrs = np.zeros(4, dtype=np.int64)
+        keys = np.arange(4, dtype=np.int64)
+        assert len(coalescing.coalesce(addrs, keys)) == 4
+
+    def test_empty(self):
+        assert len(coalescing.coalesce(np.empty(0), np.empty(0))) == 0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            coalescing.coalesce(np.zeros(3), np.zeros(2))
+
+    def test_returns_sector_ids(self):
+        out = coalescing.coalesce(np.array([64, 65, 96]), np.zeros(3))
+        assert sorted(out.tolist()) == [2, 3]
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=10_000), min_size=1,
+                 max_size=200),
+        st.integers(min_value=0, max_value=5),
+    )
+    def test_matches_set_semantics(self, addrs, key):
+        """Transaction count equals |{(group, sector)}| by definition."""
+        addrs = np.array(addrs)
+        keys = np.full(len(addrs), key, dtype=np.int64)
+        expected = len({(key, a // 32) for a in addrs.tolist()})
+        assert len(coalescing.coalesce(addrs, keys)) == expected
+
+
+class TestGroupKeys:
+    def test_warp_ids(self):
+        ids = coalescing.warp_ids(70)
+        assert ids[0] == 0 and ids[31] == 0 and ids[32] == 1 and ids[69] == 2
+
+    def test_strided_keys_separate_steps(self):
+        threads = np.array([0, 1, 0, 1])
+        steps = np.array([0, 0, 1, 1])
+        keys = coalescing.strided_group_keys(threads, steps)
+        assert keys[0] == keys[1]  # same warp, same step
+        assert keys[0] != keys[2]  # different step
+
+    def test_strided_keys_separate_warps(self):
+        threads = np.array([0, 40])
+        steps = np.array([0, 0])
+        keys = coalescing.strided_group_keys(threads, steps)
+        assert keys[0] != keys[1]
+
+    def test_burst_keys_merge_steps(self):
+        threads = np.array([0, 0, 5, 33])
+        keys = coalescing.burst_group_keys(threads)
+        assert keys[0] == keys[1] == keys[2]
+        assert keys[3] != keys[0]
+
+
+class TestContiguousRuns:
+    def test_single_run_sector_count(self):
+        # 100 bytes starting at 0: sectors 0..3.
+        out = coalescing.contiguous_run_sectors(
+            np.array([0]), np.array([100]), np.array([0])
+        )
+        assert len(out) == 4
+
+    def test_unaligned_run_spans_extra_sector(self):
+        out = coalescing.contiguous_run_sectors(
+            np.array([30]), np.array([4]), np.array([0])
+        )
+        assert len(out) == 2  # crosses the 32-byte boundary
+
+    def test_adjacent_runs_merge_within_group(self):
+        # Two lanes with contiguous ranges inside one burst group share
+        # the boundary sector.
+        out = coalescing.contiguous_run_sectors(
+            np.array([0, 32]), np.array([32, 32]), np.array([0, 0])
+        )
+        assert len(out) == 2
+
+    def test_zero_length_runs_skipped(self):
+        out = coalescing.contiguous_run_sectors(
+            np.array([0, 64]), np.array([0, 4]), np.array([0, 0])
+        )
+        assert len(out) == 1
+
+    def test_matches_expanded_coalesce(self):
+        rng = np.random.default_rng(1)
+        starts = rng.integers(0, 1000, size=20) * 4
+        lengths = rng.integers(1, 15, size=20) * 4
+        groups = rng.integers(0, 3, size=20)
+        fast = coalescing.contiguous_run_sectors(starts, lengths, groups)
+        # Reference: expand every word access.
+        addrs, keys = [], []
+        for s, l, g in zip(starts, lengths, groups):
+            for b in range(0, l, 4):
+                addrs.append(s + b)
+                keys.append(g)
+        slow = coalescing.coalesce(np.array(addrs), np.array(keys))
+        assert sorted(fast.tolist()) == sorted(slow.tolist())
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            coalescing.contiguous_run_sectors(
+                np.array([0]), np.array([4, 4]), np.array([0])
+            )

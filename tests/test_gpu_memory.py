@@ -1,0 +1,219 @@
+"""Tests for the device allocator and unified-memory manager."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AllocationError, DeviceOutOfMemoryError
+from repro.gpu.device import GTX_1080TI
+from repro.gpu.memory import DeviceMemory
+from repro.gpu.profiler import Profiler
+from repro.gpu.um import UnifiedMemoryManager
+from repro.utils.units import KIB, MIB
+
+
+@pytest.fixture
+def small_device():
+    return DeviceMemory(GTX_1080TI.with_capacity(1 * MIB))
+
+
+class TestDeviceMemory:
+    def test_alloc_tracks_usage(self, small_device):
+        a = small_device.alloc("x", np.zeros(1000, dtype=np.float32))
+        assert small_device.device_bytes_in_use == a.nbytes == 4000
+
+    def test_oom_raised(self, small_device):
+        with pytest.raises(DeviceOutOfMemoryError) as exc:
+            small_device.alloc("big", np.zeros(2 * MIB, dtype=np.uint8))
+        assert exc.value.capacity == 1 * MIB
+
+    def test_oom_accounts_existing_allocations(self, small_device):
+        small_device.alloc("a", np.zeros(600 * KIB, dtype=np.uint8))
+        with pytest.raises(DeviceOutOfMemoryError):
+            small_device.alloc("b", np.zeros(600 * KIB, dtype=np.uint8))
+
+    def test_um_never_ooms_on_alloc(self, small_device):
+        a = small_device.alloc("um", np.zeros(16 * MIB, dtype=np.uint8), kind="um")
+        assert a.kind == "um"
+        assert small_device.device_bytes_in_use == 0
+
+    def test_free_releases_capacity(self, small_device):
+        a = small_device.alloc("a", np.zeros(900 * KIB, dtype=np.uint8))
+        small_device.free(a)
+        small_device.alloc("b", np.zeros(900 * KIB, dtype=np.uint8))
+
+    def test_double_free_rejected(self, small_device):
+        a = small_device.alloc("a", np.zeros(10, dtype=np.uint8))
+        small_device.free(a)
+        with pytest.raises(AllocationError):
+            small_device.free(a)
+
+    def test_use_after_free_rejected(self, small_device):
+        a = small_device.alloc("a", np.zeros(10, dtype=np.int32))
+        small_device.free(a)
+        with pytest.raises(AllocationError):
+            a.addresses_of(np.array([0]))
+
+    def test_allocations_do_not_alias(self, small_device):
+        a = small_device.alloc("a", np.zeros(100, dtype=np.int32))
+        b = small_device.alloc("b", np.zeros(100, dtype=np.int32))
+        a_lo, a_hi = a.address_range()
+        b_lo, b_hi = b.address_range()
+        assert a_hi <= b_lo or b_hi <= a_lo
+
+    def test_alignment(self, small_device):
+        small_device.alloc("a", np.zeros(3, dtype=np.uint8))
+        b = small_device.alloc("b", np.zeros(3, dtype=np.uint8))
+        assert b.base_address % 256 == 0
+
+    def test_addresses_of(self, small_device):
+        a = small_device.alloc("a", np.zeros(10, dtype=np.float32))
+        addrs = a.addresses_of(np.array([0, 3]))
+        assert addrs[0] == a.base_address
+        assert addrs[1] == a.base_address + 12
+
+    def test_unknown_kind_rejected(self, small_device):
+        with pytest.raises(ValueError):
+            small_device.alloc("x", np.zeros(1), kind="texture")
+
+    def test_free_all(self, small_device):
+        small_device.alloc("a", np.zeros(10, dtype=np.uint8))
+        small_device.alloc("b", np.zeros(10, dtype=np.uint8), kind="um")
+        small_device.free_all()
+        assert small_device.device_bytes_in_use == 0
+        assert not small_device.allocations()
+
+
+@pytest.fixture
+def um_setup():
+    spec = GTX_1080TI.with_capacity(1 * MIB)
+    mem = DeviceMemory(spec)
+    um = UnifiedMemoryManager(spec, mem)
+    arr = mem.alloc("csr", np.zeros(512 * KIB, dtype=np.uint8), kind="um")
+    um.register(arr)
+    return spec, mem, um, arr
+
+
+class TestUnifiedMemory:
+    def test_first_touch_migrates(self, um_setup):
+        spec, mem, um, arr = um_setup
+        batch = um.touch(arr, np.array([0, 1, 2]))
+        assert batch.bytes_moved == 3 * spec.page_bytes
+        assert len(batch.migrations) == 1  # contiguous pages merge
+
+    def test_resident_pages_do_not_remigrate(self, um_setup):
+        _, _, um, arr = um_setup
+        um.touch(arr, np.array([0, 1]))
+        batch = um.touch(arr, np.array([0, 1]))
+        assert batch.bytes_moved == 0
+        assert batch.time_ms == 0.0
+
+    def test_noncontiguous_pages_split_migrations(self, um_setup):
+        _, _, um, arr = um_setup
+        batch = um.touch(arr, np.array([0, 5, 6, 20]))
+        assert len(batch.migrations) == 3
+
+    def test_migration_capped_at_driver_max(self):
+        spec = GTX_1080TI.with_capacity(8 * MIB)
+        mem = DeviceMemory(spec)
+        um = UnifiedMemoryManager(spec, mem)
+        arr = mem.alloc("csr", np.zeros(4 * MIB, dtype=np.uint8), kind="um")
+        um.register(arr)
+        max_pages = spec.um_max_migration_bytes // spec.page_bytes
+        batch = um.touch(arr, np.arange(max_pages + 10))
+        assert len(batch.migrations) == 2
+        assert max(batch.migrations) == spec.um_max_migration_bytes
+
+    def test_prefetch_uses_2mib_chunks(self):
+        spec = GTX_1080TI.with_capacity(16 * MIB)
+        mem = DeviceMemory(spec)
+        um = UnifiedMemoryManager(spec, mem)
+        arr = mem.alloc("csr", np.zeros(5 * MIB, dtype=np.uint8), kind="um")
+        um.register(arr)
+        prof = Profiler()
+        batch = um.prefetch(arr, prof)
+        assert sorted(batch.migrations, reverse=True)[:2] == [2 * MIB, 2 * MIB]
+        assert batch.bytes_moved == 5 * MIB
+        assert prof.migration_sizes == batch.migrations
+
+    def test_prefetch_idempotent(self, um_setup):
+        _, _, um, arr = um_setup
+        um.prefetch(arr)
+        again = um.prefetch(arr)
+        assert again.bytes_moved == 0
+
+    def test_oversubscription_evicts(self):
+        spec = GTX_1080TI.with_capacity(64 * KIB)
+        mem = DeviceMemory(spec)
+        um = UnifiedMemoryManager(spec, mem)
+        arr = mem.alloc("big", np.zeros(256 * KIB, dtype=np.uint8), kind="um")
+        um.register(arr)
+        um.touch(arr, np.arange(16))  # fill budget (64K/4K = 16 pages)
+        batch = um.touch(arr, np.arange(16, 32))
+        assert batch.evicted_pages == 16
+        assert um.total_resident_pages <= um.resident_budget_pages
+
+    def test_eviction_victims_are_lru(self):
+        spec = GTX_1080TI.with_capacity(16 * KIB)  # 4-page budget
+        mem = DeviceMemory(spec)
+        um = UnifiedMemoryManager(spec, mem)
+        arr = mem.alloc("a", np.zeros(64 * KIB, dtype=np.uint8), kind="um")
+        um.register(arr)
+        um.touch(arr, np.array([0]))
+        um.touch(arr, np.array([1]))
+        um.touch(arr, np.array([2, 3]))
+        um.touch(arr, np.array([0]))  # refresh page 0
+        batch = um.touch(arr, np.array([9]))  # must evict page 1 (oldest)
+        assert batch.evicted_pages == 1
+        refetch = um.touch(arr, np.array([1]))
+        assert refetch.bytes_moved == spec.page_bytes
+
+    def test_device_allocs_shrink_um_budget(self):
+        spec = GTX_1080TI.with_capacity(64 * KIB)
+        mem = DeviceMemory(spec)
+        um = UnifiedMemoryManager(spec, mem)
+        mem.alloc("labels", np.zeros(32 * KIB, dtype=np.uint8))
+        assert um.resident_budget_pages == 8
+
+    def test_unregistered_array_rejected(self, um_setup):
+        _, mem, um, _ = um_setup
+        other = mem.alloc("other", np.zeros(8192, dtype=np.uint8), kind="um")
+        with pytest.raises(AllocationError):
+            um.touch(other, np.array([0]))
+
+    def test_device_array_cannot_register(self, um_setup):
+        _, mem, um, _ = um_setup
+        dev = mem.alloc("dev", np.zeros(16, dtype=np.uint8))
+        with pytest.raises(AllocationError):
+            um.register(dev)
+
+    def test_out_of_range_page_rejected(self, um_setup):
+        _, _, um, arr = um_setup
+        with pytest.raises(AllocationError):
+            um.touch(arr, np.array([10**6]))
+
+    def test_touch_byte_ranges(self, um_setup):
+        spec, _, um, arr = um_setup
+        batch = um.touch_byte_ranges(
+            arr, np.array([0, 4096 * 3 + 10]), np.array([10, 100])
+        )
+        assert batch.bytes_moved == 2 * spec.page_bytes
+
+    def test_touch_byte_ranges_spanning_pages(self, um_setup):
+        spec, _, um, arr = um_setup
+        batch = um.touch_byte_ranges(arr, np.array([4090]), np.array([10]))
+        assert batch.bytes_moved == 2 * spec.page_bytes
+
+    def test_resident_fraction(self, um_setup):
+        _, _, um, arr = um_setup
+        assert um.resident_fraction(arr) == 0.0
+        um.prefetch(arr)
+        assert um.resident_fraction(arr) == 1.0
+
+    def test_migration_sizes_recorded_for_table5(self, um_setup):
+        _, _, um, arr = um_setup
+        prof = Profiler()
+        um.touch(arr, np.array([0, 1, 2, 3, 4, 10]), prof)
+        avg, lo, hi = prof.migration_size_stats()
+        assert lo == 4096
+        assert hi == 5 * 4096
+        assert avg == (5 * 4096 + 4096) / 2

@@ -1,0 +1,116 @@
+"""Tests for timeline overlap accounting (Fig. 4) and transfer model."""
+
+import pytest
+
+from repro.gpu.device import GTX_1080TI
+from repro.gpu.profiler import KernelCounters, Profiler
+from repro.gpu.timeline import Timeline
+from repro.gpu.transfer import d2h_copy, h2d_copy
+
+
+class TestTimeline:
+    def test_no_overlap(self):
+        tl = Timeline()
+        tl.add("compute", 0, 1)
+        tl.add("transfer", 1, 2)
+        assert tl.overlap_ms() == 0.0
+        assert tl.span_ms == 2.0
+
+    def test_full_overlap(self):
+        tl = Timeline()
+        tl.add("compute", 0, 2)
+        tl.add("transfer", 0.5, 1.5)
+        assert tl.overlap_ms() == pytest.approx(1.0)
+        assert tl.overlap_fraction() == pytest.approx(0.5)
+
+    def test_union_of_fragments(self):
+        tl = Timeline()
+        tl.add("compute", 0, 1)
+        tl.add("compute", 0.5, 2)  # overlapping compute merges
+        tl.add("transfer", 0, 2)
+        assert tl.overlap_ms() == pytest.approx(2.0)
+
+    def test_busy_ms(self):
+        tl = Timeline()
+        tl.add("transfer", 0, 1)
+        tl.add("transfer", 3, 4)
+        assert tl.busy_ms("transfer") == pytest.approx(2.0)
+
+    def test_invalid_interval_rejected(self):
+        tl = Timeline()
+        with pytest.raises(ValueError):
+            tl.add("compute", 2, 1)
+        with pytest.raises(ValueError):
+            tl.add("io", 0, 1)
+
+    def test_cumulative_bytes_series(self):
+        tl = Timeline()
+        tl.add("transfer", 0, 1, nbytes=100)
+        tl.add("transfer", 1, 2, nbytes=50)
+        series = tl.cumulative_bytes_series("transfer")
+        assert series == [(1, 100), (2, 150)]
+
+    def test_empty_timeline(self):
+        tl = Timeline()
+        assert tl.span_ms == 0.0
+        assert tl.overlap_fraction() == 0.0
+
+
+class TestTransfer:
+    def test_h2d_records_profiler(self):
+        prof = Profiler()
+        t = h2d_copy(GTX_1080TI, prof, 1_000_000)
+        assert t > 0
+        assert prof.h2d_bytes == 1_000_000
+        assert prof.h2d_time_ms == t
+
+    def test_pinned_faster_than_pageable(self):
+        prof = Profiler()
+        pageable = h2d_copy(GTX_1080TI, prof, 10_000_000)
+        pinned = h2d_copy(GTX_1080TI, prof, 10_000_000, pinned=True)
+        assert pinned < pageable
+
+    def test_latency_floor(self):
+        prof = Profiler()
+        t = h2d_copy(GTX_1080TI, prof, 1)
+        assert t >= GTX_1080TI.pcie_latency_us * 1e-3
+
+    def test_d2h(self):
+        prof = Profiler()
+        d2h_copy(GTX_1080TI, prof, 4096)
+        assert prof.d2h_bytes == 4096
+
+
+class TestProfilerCounters:
+    def test_merge_accumulates(self):
+        a = KernelCounters(launches=1, instructions=100, cycles=50)
+        b = KernelCounters(launches=2, instructions=40, cycles=25)
+        a.merge(b)
+        assert a.launches == 3
+        assert a.instructions == 140
+        assert a.ipc == pytest.approx(140 / 75)
+
+    def test_hit_rates_guard_zero(self):
+        c = KernelCounters()
+        assert c.ipc == 0.0
+        assert c.l2_hit_rate == 0.0
+        assert c.unified_hit_rate == 0.0
+        assert c.dram_read_throughput_gbps == 0.0
+
+    def test_throughputs(self):
+        c = KernelCounters(elapsed_ms=1.0, dram_read_bytes=1e9,
+                           l2_accesses=1000, unified_cache_accesses=2000)
+        assert c.dram_read_throughput_gbps == pytest.approx(1000.0)
+        assert c.l2_read_throughput_gbps == pytest.approx(0.032)
+        assert c.unified_read_throughput_gbps == pytest.approx(0.064)
+
+    def test_migration_stats_empty(self):
+        assert Profiler().migration_size_stats() == (0.0, 0, 0)
+
+    def test_snapshot_is_independent_copy(self):
+        p = Profiler()
+        p.record_kernel(KernelCounters(launches=1, instructions=10))
+        snap = p.snapshot()
+        p.record_kernel(KernelCounters(launches=1, instructions=10))
+        assert snap.launches == 1
+        assert p.kernels.launches == 2

@@ -1,0 +1,175 @@
+"""Tests for the synthetic generators, including the surrogate-defining
+properties (depth, pocket, skew) the evaluation relies on."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.graph import generators, properties
+
+
+class TestRMAT:
+    def test_deterministic(self):
+        a = generators.rmat(8, 1000, seed=9)
+        b = generators.rmat(8, 1000, seed=9)
+        assert a == b
+
+    def test_seed_changes_graph(self):
+        a = generators.rmat(8, 1000, seed=1)
+        b = generators.rmat(8, 1000, seed=2)
+        assert a != b
+
+    def test_vertex_space_is_power_of_two(self):
+        g = generators.rmat(6, 500, seed=0)
+        assert g.num_vertices == 64
+
+    def test_skew_produces_hub(self):
+        g = generators.rmat(10, 8192, a=0.57, b=0.19, c=0.19, seed=4)
+        deg = g.out_degrees()
+        assert deg.max() > 20 * max(deg.mean(), 1e-9)
+
+    def test_uniform_probabilities_give_er_like_graph(self):
+        g = generators.rmat(10, 8192, a=0.25, b=0.25, c=0.25, seed=4)
+        deg = g.out_degrees()
+        assert deg.max() < 10 * max(deg.mean(), 1e-9)
+
+    def test_no_self_loops_by_default(self):
+        g = generators.rmat(7, 2000, seed=5)
+        src = g.edge_sources()
+        assert not np.any(src == g.column_indices)
+
+    def test_invalid_probabilities_rejected(self):
+        with pytest.raises(DatasetError):
+            generators.rmat(5, 10, a=0.9, b=0.2, c=0.2)
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(DatasetError):
+            generators.rmat(0, 10)
+
+
+class TestSocialNetwork:
+    def test_exact_vertex_count(self):
+        g = generators.social_network(1000, 5000, seed=1)
+        assert g.num_vertices == 1000
+
+    def test_non_power_of_two_sizes(self):
+        g = generators.social_network(777, 3000, seed=2)
+        assert g.num_vertices == 777
+        assert g.num_edges > 0
+
+    def test_too_small_rejected(self):
+        with pytest.raises(DatasetError):
+            generators.social_network(1, 10)
+
+
+class TestWebChain:
+    def test_depth_controls_bfs_levels(self):
+        g = generators.web_chain(3000, 30000, depth=25, seed=1)
+        d = properties.bfs_depth(g, 0)
+        assert 25 <= d <= 28  # leaf hop may add one level
+
+    def test_high_activation_without_pocket(self):
+        g = generators.web_chain(3000, 30000, depth=10, seed=2)
+        assert properties.activation_fraction(g, 0) > 0.9
+
+    def test_scc_smaller_than_reachable_set(self):
+        g = generators.web_chain(5000, 60000, depth=12, leaf_fraction=0.35,
+                                 seed=3)
+        scc = properties.largest_component_fraction(g, strong=True)
+        act = properties.activation_fraction(g, 0)
+        assert act > 0.9
+        assert scc < 0.75  # leaves excluded from the strongly-connected core
+
+    def test_pocket_isolates_source(self):
+        g = generators.web_chain(
+            5000, 50000, depth=10, pocket_size=40, pocket_depth=4, seed=4
+        )
+        act = properties.activation_fraction(g, 0)
+        assert act == pytest.approx(40 / 5000, rel=0.01)
+        assert properties.bfs_depth(g, 0) <= 4
+
+    def test_pocket_all_reachable(self):
+        g = generators.web_chain(
+            2000, 20000, depth=5, pocket_size=30, pocket_depth=3, seed=5
+        )
+        assert properties.reachable_mask(g, 0).sum() == 30
+
+    def test_pocket_too_large_rejected(self):
+        with pytest.raises(DatasetError):
+            generators.web_chain(100, 1000, depth=2, pocket_size=100)
+
+    def test_depth_zero_rejected(self):
+        with pytest.raises(DatasetError):
+            generators.web_chain(100, 1000, depth=0)
+
+    def test_deterministic(self):
+        a = generators.web_chain(1000, 10000, depth=5, seed=6)
+        b = generators.web_chain(1000, 10000, depth=5, seed=6)
+        assert a == b
+
+
+class TestSmallGraphs:
+    def test_path(self):
+        g = generators.path_graph(5)
+        assert g.num_edges == 4
+        assert properties.bfs_depth(g, 0) == 4
+
+    def test_cycle(self):
+        g = generators.cycle_graph(6)
+        assert g.num_edges == 6
+        assert properties.activation_fraction(g, 0) == 1.0
+
+    def test_star_out(self):
+        g = generators.star_graph(9)
+        assert g.out_degree(0) == 9
+        assert g.max_out_degree() == 9
+
+    def test_star_in(self):
+        g = generators.star_graph(9, out=False)
+        assert g.out_degree(0) == 0
+        assert g.out_degree(1) == 1
+
+    def test_complete(self):
+        g = generators.complete_graph(5)
+        assert g.num_edges == 20
+
+    def test_grid_dimensions(self):
+        g = generators.grid_graph(3, 4)
+        assert g.num_vertices == 12
+        assert g.num_edges == 3 * 3 + 2 * 4  # right + down edges
+
+    def test_erdos_renyi_deterministic(self):
+        assert generators.erdos_renyi(100, 500, seed=1) == \
+               generators.erdos_renyi(100, 500, seed=1)
+
+
+class TestProperties:
+    def test_lcc_weak_vs_strong(self):
+        g = generators.path_graph(10)
+        assert properties.largest_component_fraction(g) == 1.0
+        assert properties.largest_component_fraction(g, strong=True) == 0.1
+
+    def test_reachable_mask_path(self):
+        g = generators.path_graph(5)
+        mask = properties.reachable_mask(g, 2)
+        assert list(mask) == [False, False, True, True, True]
+
+    def test_activation_fraction_empty_graph(self):
+        from repro.graph.csr import CSRGraph
+        g = CSRGraph(np.zeros(1, dtype=np.int32), np.empty(0, dtype=np.int32))
+        assert properties.activation_fraction(g, 0) == 0.0
+
+    def test_degree_stats(self, skewed_graph):
+        stats = properties.DegreeStats.of(skewed_graph)
+        assert stats.maximum == skewed_graph.max_out_degree()
+        assert stats.average == pytest.approx(skewed_graph.average_degree)
+        assert stats.zeros == int((skewed_graph.out_degrees() == 0).sum())
+
+    def test_graph_summary(self, skewed_graph):
+        s = properties.GraphSummary.of(skewed_graph)
+        assert s.num_edges == skewed_graph.num_edges
+        assert 0 < s.lcc_fraction <= 1.0
+
+    def test_bfs_depth_disconnected_source(self):
+        g = generators.star_graph(4, out=False)  # hub has no out-edges
+        assert properties.bfs_depth(g, 0) == 0

@@ -1,0 +1,164 @@
+"""Round-trip tests for text, Galois-binary and npz graph I/O."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph import generators, io
+from repro.graph.csr import CSRGraph
+from repro.graph.weights import uniform_int_weights
+
+
+@pytest.fixture
+def graph():
+    return generators.rmat(7, 1500, seed=21)
+
+
+@pytest.fixture
+def weighted(graph):
+    return graph.with_weights(uniform_int_weights(graph.num_edges, seed=22))
+
+
+class TestTextEdgeList:
+    def test_roundtrip(self, graph, tmp_path):
+        p = tmp_path / "g.txt"
+        io.save_edgelist_text(graph, p)
+        assert io.load_edgelist_text(p) == graph
+
+    def test_roundtrip_weighted(self, weighted, tmp_path):
+        p = tmp_path / "g.txt"
+        io.save_edgelist_text(weighted, p)
+        loaded = io.load_edgelist_text(p, weighted=True)
+        assert loaded == weighted
+
+    def test_comments_ignored(self, tmp_path):
+        p = tmp_path / "g.txt"
+        p.write_text("# header\n0 1\n# mid comment\n1 2\n")
+        g = io.load_edgelist_text(p)
+        assert g.num_edges == 2
+
+    def test_empty_file(self, tmp_path):
+        p = tmp_path / "empty.txt"
+        p.write_text("# nothing\n")
+        g = io.load_edgelist_text(p)
+        assert g.num_vertices == 0 and g.num_edges == 0
+
+    def test_missing_weight_column_rejected(self, tmp_path):
+        p = tmp_path / "g.txt"
+        p.write_text("0 1\n")
+        with pytest.raises(GraphFormatError):
+            io.load_edgelist_text(p, weighted=True)
+
+    def test_garbage_rejected(self, tmp_path):
+        p = tmp_path / "g.txt"
+        p.write_text("0 hello\n")
+        with pytest.raises(GraphFormatError):
+            io.load_edgelist_text(p)
+
+
+class TestGaloisBinary:
+    def test_roundtrip(self, graph, tmp_path):
+        p = tmp_path / "g.gr"
+        io.save_galois_binary(graph, p)
+        assert io.load_galois_binary(p) == graph
+
+    def test_roundtrip_weighted(self, weighted, tmp_path):
+        p = tmp_path / "g.gr"
+        io.save_galois_binary(weighted, p)
+        loaded = io.load_galois_binary(p)
+        assert loaded == weighted
+        assert loaded.is_weighted
+
+    def test_bad_magic_rejected(self, tmp_path):
+        p = tmp_path / "bad.gr"
+        p.write_bytes(b"\x00" * 64)
+        with pytest.raises(GraphFormatError, match="magic"):
+            io.load_galois_binary(p)
+
+    def test_truncated_header_rejected(self, tmp_path):
+        p = tmp_path / "trunc.gr"
+        p.write_bytes(b"\x01\x02")
+        with pytest.raises(GraphFormatError, match="truncated"):
+            io.load_galois_binary(p)
+
+    def test_truncated_body_rejected(self, graph, tmp_path):
+        p = tmp_path / "g.gr"
+        io.save_galois_binary(graph, p)
+        raw = p.read_bytes()
+        p.write_bytes(raw[: len(raw) // 2])
+        with pytest.raises(GraphFormatError, match="truncated"):
+            io.load_galois_binary(p)
+
+    def test_empty_graph_roundtrip(self, tmp_path):
+        g = CSRGraph(np.zeros(1, dtype=np.int32), np.empty(0, dtype=np.int32))
+        p = tmp_path / "empty.gr"
+        io.save_galois_binary(g, p)
+        loaded = io.load_galois_binary(p)
+        assert loaded.num_vertices == 0 and loaded.num_edges == 0
+
+
+class TestNpz:
+    def test_roundtrip(self, weighted, tmp_path):
+        p = tmp_path / "g.npz"
+        io.save_npz(weighted, p)
+        assert io.load_npz(p) == weighted
+
+    def test_unweighted_roundtrip(self, graph, tmp_path):
+        p = tmp_path / "g.npz"
+        io.save_npz(graph, p)
+        loaded = io.load_npz(p)
+        assert loaded == graph
+        assert not loaded.is_weighted
+
+
+class TestDatasets:
+    def test_registry_lists_all_paper_datasets(self):
+        from repro.graph import datasets
+        assert set(datasets.ALL_DATASETS) == set(datasets._REGISTRY)
+        assert len(datasets.ALL_DATASETS) == 7
+
+    def test_unknown_dataset_rejected(self):
+        from repro.graph import datasets
+        from repro.errors import DatasetError
+        with pytest.raises(DatasetError):
+            datasets.get_spec("no-such-graph")
+
+    def test_load_uses_cache(self, tmp_path, monkeypatch):
+        from repro.graph import datasets
+        # Substitute a tiny builder so the test stays fast.
+        spec = datasets.DatasetSpec(
+            name="slashdot",
+            kind="social",
+            paper=datasets.SLASHDOT.paper,
+            builder=lambda: generators.rmat(6, 300, seed=1),
+        )
+        monkeypatch.setitem(datasets._REGISTRY, "slashdot", spec)
+        g1, s1 = datasets.load("slashdot", cache_dir=tmp_path)
+        assert (tmp_path / "slashdot.npz").exists()
+        g2, s2 = datasets.load("slashdot", cache_dir=tmp_path)
+        assert g1 == g2 and s1 == s2
+
+    def test_weighted_load_is_deterministic(self, tmp_path, monkeypatch):
+        from repro.graph import datasets
+        spec = datasets.DatasetSpec(
+            name="slashdot",
+            kind="social",
+            paper=datasets.SLASHDOT.paper,
+            builder=lambda: generators.rmat(6, 300, seed=1),
+        )
+        monkeypatch.setitem(datasets._REGISTRY, "slashdot", spec)
+        g1, _ = datasets.load("slashdot", weighted=True, cache_dir=tmp_path)
+        g2, _ = datasets.load("slashdot", weighted=True, cache_dir=tmp_path)
+        assert np.array_equal(g1.edge_weights, g2.edge_weights)
+
+    def test_scaled_capacity(self):
+        from repro.graph import datasets
+        assert datasets.scaled_device_capacity() == 11 * 2**30 // 256
+
+    def test_source_strategies(self):
+        from repro.graph import datasets
+        g = generators.star_graph(5)  # hub is vertex 0
+        spec = datasets.get_spec("livejournal")
+        assert spec.source_vertex(g) == 0  # max degree
+        web_spec = datasets.get_spec("uk-2005")
+        assert web_spec.source_vertex(g) == 0  # vertex0 strategy

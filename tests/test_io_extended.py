@@ -1,0 +1,97 @@
+"""Tests for MatrixMarket I/O, format dispatch and the traversal CLI."""
+
+import numpy as np
+import pytest
+
+from repro.__main__ import main as cli_main
+from repro.errors import GraphFormatError
+from repro.graph import generators, io
+from repro.graph.weights import attach_weights
+
+
+@pytest.fixture
+def graph():
+    return generators.rmat(7, 1200, seed=51)
+
+
+class TestMatrixMarket:
+    def test_roundtrip_pattern(self, graph, tmp_path):
+        p = tmp_path / "g.mtx"
+        io.save_matrix_market(graph, p)
+        loaded = io.load_matrix_market(p, weighted=False)
+        assert loaded == graph
+
+    def test_roundtrip_weighted(self, graph, tmp_path):
+        g = attach_weights(graph, seed=5)
+        p = tmp_path / "g.mtx"
+        io.save_matrix_market(g, p)
+        loaded = io.load_matrix_market(p)
+        assert loaded == g
+
+    def test_symmetric_matrix_expands(self, tmp_path):
+        p = tmp_path / "sym.mtx"
+        p.write_text(
+            "%%MatrixMarket matrix coordinate pattern symmetric\n"
+            "3 3 2\n2 1\n3 2\n"
+        )
+        g = io.load_matrix_market(p)
+        edges = set(g.iter_edges())
+        assert (0, 1) in edges and (1, 0) in edges
+        assert (1, 2) in edges and (2, 1) in edges
+
+    def test_one_indexed_conversion(self, tmp_path):
+        p = tmp_path / "g.mtx"
+        p.write_text(
+            "%%MatrixMarket matrix coordinate pattern general\n"
+            "2 2 1\n1 2\n"
+        )
+        g = io.load_matrix_market(p)
+        assert list(g.iter_edges()) == [(0, 1)]
+
+    def test_garbage_rejected(self, tmp_path):
+        p = tmp_path / "bad.mtx"
+        p.write_text("this is not a matrix\n")
+        with pytest.raises(GraphFormatError):
+            io.load_matrix_market(p)
+
+
+class TestLoadAny:
+    def test_dispatch_by_extension(self, graph, tmp_path):
+        io.save_edgelist_text(graph, tmp_path / "g.txt")
+        io.save_galois_binary(graph, tmp_path / "g.gr")
+        io.save_matrix_market(graph, tmp_path / "g.mtx")
+        io.save_npz(graph, tmp_path / "g.npz")
+        for name in ("g.txt", "g.gr", "g.mtx", "g.npz"):
+            assert io.load_any(tmp_path / name) == graph
+
+
+class TestCLI:
+    @pytest.fixture
+    def graph_file(self, graph, tmp_path):
+        p = tmp_path / "g.txt"
+        io.save_edgelist_text(graph, p)
+        return str(p)
+
+    def test_bfs_run(self, graph_file, capsys):
+        assert cli_main([graph_file, "-a", "bfs"]) == 0
+        out = capsys.readouterr().out
+        assert "visited" in out and "simulated total" in out
+
+    def test_validated_sssp(self, graph_file, capsys):
+        assert cli_main([graph_file, "-a", "sssp", "--validate"]) == 0
+        assert "fixed point confirmed" in capsys.readouterr().out
+
+    def test_explicit_source_and_options(self, graph_file, capsys):
+        assert cli_main([
+            graph_file, "-a", "bfs", "-s", "3", "-k", "8",
+            "--no-smp", "--memory", "device",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "source: 3" in out and "smp=off" in out
+
+    def test_capacity_parse(self, graph_file, capsys):
+        assert cli_main([graph_file, "--capacity", "1GB"]) == 0
+
+    def test_requires_exactly_one_input(self, capsys):
+        assert cli_main([]) == 2
+        assert cli_main(["x.txt", "--dataset", "slashdot"]) == 2

@@ -1,0 +1,92 @@
+"""Property-based invariants of the kernel cost model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gpu.cache import CacheHierarchy
+from repro.gpu.device import GTX_1080TI
+from repro.gpu.kernel import simulate_vertex_kernel
+from repro.gpu.memory import DeviceMemory
+
+
+def build_launch(degrees, seed=0):
+    degrees = np.asarray(degrees, dtype=np.int64)
+    starts = np.concatenate([[0], np.cumsum(degrees)[:-1]]).astype(np.int64)
+    total = int(degrees.sum())
+    rng = np.random.default_rng(seed)
+    mem = DeviceMemory(GTX_1080TI)
+    return dict(
+        starts=starts,
+        degrees=degrees,
+        adj_array=mem.alloc("adj", np.zeros(max(total, 1), dtype=np.int32)),
+        neighbor_ids=rng.integers(0, max(len(degrees), 1), size=total),
+        label_array=mem.alloc(
+            "labels", np.zeros(max(len(degrees), 1), dtype=np.float32)
+        ),
+    )
+
+
+def run(**kw):
+    return simulate_vertex_kernel(GTX_1080TI, CacheHierarchy(GTX_1080TI), **kw)
+
+
+@st.composite
+def degree_lists(draw):
+    return draw(st.lists(st.integers(0, 40), min_size=1, max_size=200))
+
+
+class TestKernelInvariants:
+    @given(degree_lists())
+    @settings(max_examples=30, deadline=None)
+    def test_time_positive_and_finite(self, degrees):
+        t = run(**build_launch(degrees))
+        assert np.isfinite(t.time_ms)
+        assert t.time_ms > 0
+
+    @given(degree_lists())
+    @settings(max_examples=30, deadline=None)
+    def test_transactions_bounded_by_accesses(self, degrees):
+        """Coalescing can only merge: transactions <= individual accesses
+        (edges * 2 streams + metadata), and >= the contiguous minimum."""
+        kw = build_launch(degrees)
+        t = run(**kw)
+        edges = int(np.sum(degrees))
+        upper = 2 * edges + len(degrees) * 3 + 64
+        assert t.counters.global_load_transactions <= upper
+
+    @given(degree_lists())
+    @settings(max_examples=20, deadline=None)
+    def test_smp_never_more_transactions(self, degrees):
+        """SMP without over-fetch coalesces strictly more aggressively."""
+        if sum(degrees) == 0:
+            return
+        base = run(**build_launch(degrees, seed=1))
+        smp = run(smp=True, degree_limit=64, **build_launch(degrees, seed=1))
+        assert (smp.counters.global_load_transactions
+                <= base.counters.global_load_transactions)
+
+    @given(st.integers(1, 200), st.integers(0, 30))
+    @settings(max_examples=20, deadline=None)
+    def test_more_work_never_faster(self, n_threads, extra):
+        """Adding degree to every thread cannot reduce kernel time."""
+        small = run(**build_launch([4] * n_threads, seed=2))
+        big = run(**build_launch([4 + extra] * n_threads, seed=2))
+        assert big.time_ms >= small.time_ms * 0.999
+
+    @given(degree_lists())
+    @settings(max_examples=20, deadline=None)
+    def test_cycles_consistent_with_time(self, degrees):
+        t = run(**build_launch(degrees))
+        assert t.counters.cycles == pytest.approx(
+            GTX_1080TI.ms_to_cycles(t.time_ms)
+        )
+
+    def test_gteps_properties(self):
+        from repro import EtaGraph
+        from repro.graph import generators
+        g = generators.rmat(10, 20000, seed=5)
+        src = int(np.argmax(g.out_degrees()))
+        r = EtaGraph(g).bfs(src)
+        assert r.gteps > 0
+        assert r.kernel_gteps >= r.gteps  # kernel-only time is smaller

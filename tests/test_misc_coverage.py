@@ -1,0 +1,155 @@
+"""Edge-case tests for corners the feature suites do not reach."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.cache import CacheHierarchy
+from repro.gpu.device import GTX_1080TI
+from repro.gpu.kernel import simulate_streaming_kernel, simulate_vertex_kernel
+from repro.gpu.memory import DeviceMemory
+from repro.gpu.um import UnifiedMemoryManager
+from repro.graph import generators
+from repro.graph.weights import (
+    degree_correlated_weights,
+    uniform_int_weights,
+)
+from repro.errors import ConfigError
+from repro.utils.units import KIB, MIB
+
+
+class TestKernelTimingDetails:
+    def _launch(self, **kw):
+        mem = DeviceMemory(GTX_1080TI)
+        n = 64
+        degrees = np.full(n, 4, dtype=np.int64)
+        starts = np.arange(n, dtype=np.int64) * 4
+        adj = mem.alloc("adj", np.zeros(n * 4, dtype=np.int32))
+        labels = mem.alloc("labels", np.zeros(n, dtype=np.float32))
+        return simulate_vertex_kernel(
+            GTX_1080TI, CacheHierarchy(GTX_1080TI),
+            starts=starts, degrees=degrees, adj_array=adj,
+            neighbor_ids=np.zeros(n * 4, dtype=np.int64),
+            label_array=labels, **kw,
+        )
+
+    def test_bound_by_reports_a_component(self):
+        t = self._launch()
+        assert t.bound_by in ("compute", "dram", "l2")
+
+    def test_time_components_consistent(self):
+        t = self._launch()
+        assert t.time_ms == pytest.approx(
+            t.launch_ms + max(t.compute_ms, t.dram_ms, t.l2_ms)
+        )
+
+    def test_streaming_kernel_scatter_sampling(self):
+        """Scatter traces above the cap are subsampled, counts rescaled."""
+        from repro.gpu.kernel import TRACE_CAP
+        idx = np.arange(TRACE_CAP * 2) * 16
+        t = simulate_streaming_kernel(
+            GTX_1080TI, CacheHierarchy(GTX_1080TI),
+            read_bytes=0, write_bytes=0, n_threads=1000,
+            scatter_base_address=0, scatter_indices=idx,
+        )
+        assert t.counters.global_load_transactions >= TRACE_CAP
+
+
+class TestWeights:
+    def test_uniform_range(self):
+        w = uniform_int_weights(1000, low=2, high=5, seed=1)
+        assert w.min() >= 2 and w.max() < 5
+        assert w.dtype == np.float32
+
+    def test_uniform_rejects_bad_range(self):
+        with pytest.raises(ConfigError):
+            uniform_int_weights(10, low=0)
+        with pytest.raises(ConfigError):
+            uniform_int_weights(10, low=5, high=5)
+
+    def test_degree_correlated_positive(self):
+        g = generators.rmat(8, 2000, seed=2)
+        w = degree_correlated_weights(g, seed=3)
+        assert len(w) == g.num_edges
+        assert w.min() >= 1
+
+    def test_degree_correlated_hubs_get_cheaper_edges(self):
+        g = generators.star_graph(200) .reverse()  # all edges into hub 0
+        # Build a graph where some edges point at the hub and some at leaves.
+        from repro.graph.csr import CSRGraph
+        src = np.zeros(100, dtype=np.int64)
+        dst = np.concatenate([np.zeros(50), np.arange(50, 100)]).astype(np.int64)
+        g2 = CSRGraph.from_edges(
+            np.concatenate([src, [1]]), np.concatenate([dst, [2]]),
+            num_vertices=101, dedup=False,
+        )
+        w = degree_correlated_weights(g2, seed=4)
+        assert np.isfinite(w).all()
+
+    def test_attach_weights_unknown_kind(self):
+        from repro.graph.weights import attach_weights
+        g = generators.path_graph(3)
+        with pytest.raises(ConfigError):
+            attach_weights(g, kind="prime")
+
+
+class TestUMCornerCases:
+    def test_prefetch_with_eviction(self):
+        """Prefetching an allocation larger than the budget evicts as it
+        goes and leaves residency at the budget."""
+        spec = GTX_1080TI.with_capacity(64 * KIB)
+        mem = DeviceMemory(spec)
+        um = UnifiedMemoryManager(spec, mem)
+        arr = mem.alloc("big", np.zeros(1 * MIB, dtype=np.uint8), kind="um")
+        um.register(arr)
+        batch = um.prefetch(arr)
+        assert batch.bytes_moved == 1 * MIB
+        assert um.total_resident_pages <= um.resident_budget_pages + \
+            batch.bytes_moved // spec.page_bytes
+
+    def test_empty_touch(self):
+        spec = GTX_1080TI
+        mem = DeviceMemory(spec)
+        um = UnifiedMemoryManager(spec, mem)
+        arr = mem.alloc("a", np.zeros(8192, dtype=np.uint8), kind="um")
+        um.register(arr)
+        batch = um.touch(arr, np.empty(0, dtype=np.int64))
+        assert batch.bytes_moved == 0
+
+    def test_resident_bytes(self):
+        spec = GTX_1080TI
+        mem = DeviceMemory(spec)
+        um = UnifiedMemoryManager(spec, mem)
+        arr = mem.alloc("a", np.zeros(5 * 4096, dtype=np.uint8), kind="um")
+        um.register(arr)
+        um.touch(arr, np.array([0, 2]))
+        assert um.resident_bytes() == 2 * 4096
+
+
+class TestEngineCornerCases:
+    def test_source_with_self_component_only(self):
+        """Source whose only edge is to itself-like tiny cycle."""
+        g = generators.cycle_graph(3)
+        from repro import EtaGraph
+        r = EtaGraph(g).bfs(0)
+        assert list(r.labels) == [0, 1, 2]
+
+    def test_two_vertex_graph(self):
+        from repro import EtaGraph
+        from repro.graph.csr import CSRGraph
+        g = CSRGraph.from_edges([0], [1], num_vertices=2)
+        r = EtaGraph(g).bfs(0)
+        assert list(r.labels) == [0, 1]
+
+    def test_repr_strings(self):
+        from repro import EtaGraph
+        g = generators.path_graph(4)
+        eta = EtaGraph(g)
+        assert "EtaGraph" in repr(eta)
+        result = eta.bfs(0)
+        assert "TraversalResult" in repr(result)
+
+    def test_profiler_throughput_zero_elapsed(self):
+        from repro.gpu.profiler import KernelCounters
+        c = KernelCounters()
+        assert c.l2_read_throughput_gbps == 0.0
+        assert c.unified_read_throughput_gbps == 0.0

@@ -1,0 +1,123 @@
+"""Fast integration tests pinning the paper's headline claims.
+
+These run on the two quick surrogate datasets (LiveJournal, com-Orkut),
+so `pytest tests/` alone — without the benchmark suite — already verifies
+the core Table III / Fig. 6 shapes end-to-end.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.runner import BenchContext, run_cell
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return BenchContext()
+
+
+@pytest.fixture(scope="module")
+def lj_cells(ctx):
+    """All framework cells for LiveJournal BFS + SSSP."""
+    out = {}
+    for alg in ("bfs", "sssp"):
+        for fw in ("cusha", "gunrock", "tigr", "etagraph", "etagraph-noump"):
+            out[(fw, alg)] = run_cell(ctx, fw, alg, "livejournal",
+                                      keep_labels=True)
+    return out
+
+
+class TestHeadlineClaims:
+    def test_etagraph_beats_all_baseline_totals(self, lj_cells):
+        """Abstract: 'significant and consistent speedups over the
+        state-of-the-art GPU-based graph processing frameworks'."""
+        for alg in ("bfs", "sssp"):
+            ours = lj_cells[("etagraph", alg)].total_ms
+            for fw in ("cusha", "gunrock", "tigr"):
+                assert ours < lj_cells[(fw, alg)].total_ms, (fw, alg)
+
+    def test_all_engines_agree(self, lj_cells):
+        for alg in ("bfs", "sssp"):
+            ref = lj_cells[("etagraph", alg)].labels
+            for fw in ("cusha", "gunrock", "tigr", "etagraph-noump"):
+                assert np.allclose(ref, lj_cells[(fw, alg)].labels), (fw, alg)
+
+    def test_ump_helps_on_full_traversals(self, lj_cells):
+        """Table III: EtaGraph w/o UMP is slower everywhere except the
+        tiny-activation uk-2006 (covered by the full bench)."""
+        for alg in ("bfs", "sssp"):
+            assert (lj_cells[("etagraph-noump", alg)].total_ms
+                    > lj_cells[("etagraph", alg)].total_ms)
+
+    def test_speedup_magnitude_in_paper_band(self, lj_cells):
+        """Paper: 1.4-2.5x over the best of the others on LJ-class
+        graphs; allow a generous band around it."""
+        for alg in ("bfs", "sssp"):
+            best_other = min(
+                lj_cells[(fw, alg)].total_ms
+                for fw in ("cusha", "gunrock", "tigr")
+            )
+            speedup = best_other / lj_cells[("etagraph", alg)].total_ms
+            assert 1.1 < speedup < 5.0, (alg, speedup)
+
+    def test_kernel_efficiency_claim(self, lj_cells):
+        """EtaGraph's total is competitive with baselines' kernel-only
+        time (Section VI-C highlights cases where it wins outright)."""
+        ours = lj_cells[("etagraph", "sssp")].total_ms
+        tigr_kernel = lj_cells[("tigr", "sssp")].kernel_ms
+        assert ours < 1.5 * tigr_kernel
+
+    def test_sswp_supported_by_tigr_and_etagraph_only(self, ctx):
+        """Table III's SSWP rows list only Tigr and EtaGraph."""
+        from repro.bench.workloads import frameworks_for
+        fws = frameworks_for("sswp")
+        assert "cusha" not in fws and "gunrock" not in fws
+        assert "tigr" in fws and "etagraph" in fws
+
+    def test_space_claim(self, ctx):
+        """Table I in action: EtaGraph's footprint (raw CSR + working
+        arrays) undercuts every baseline's on the same graph."""
+        from repro.baselines import get_framework
+        from repro.core.api import EtaGraph
+
+        csr, src = ctx.load("com-orkut", False)
+        result = EtaGraph(csr, device=ctx.device).bfs(src)
+        ours = result.um_bytes + result.device_bytes
+        for fw in ("cusha", "gunrock", "tigr"):
+            theirs = get_framework(fw, ctx.device).run(csr, "bfs", src)
+            assert ours < theirs.device_bytes, fw
+
+
+class TestAdversarialInputs:
+    def test_self_loop_graph(self):
+        from repro import EtaGraph
+        from repro.graph.csr import CSRGraph
+        g = CSRGraph.from_edges([0, 0, 1], [0, 1, 1], num_vertices=2)
+        r = EtaGraph(g).bfs(0)
+        assert list(r.labels) == [0, 1]
+
+    def test_single_vertex_graph(self):
+        from repro import EtaGraph
+        from repro.graph.csr import CSRGraph
+        import numpy as np
+        g = CSRGraph(np.array([0, 0], dtype=np.int32),
+                     np.empty(0, dtype=np.int32))
+        r = EtaGraph(g).bfs(0)
+        assert r.labels[0] == 0
+        assert r.visited == 1
+
+    def test_two_cycle(self):
+        from repro import EtaGraph
+        from repro.graph.csr import CSRGraph
+        g = CSRGraph.from_edges([0, 1], [1, 0], num_vertices=2)
+        r = EtaGraph(g).sswp(0) if g.is_weighted else EtaGraph(g).bfs(0)
+        assert list(r.labels) == [0, 1]
+
+    def test_parallel_heavy_duplicates_collapsed(self):
+        from repro import EtaGraph
+        from repro.graph.csr import CSRGraph
+        src = [0] * 500
+        dst = [1] * 500
+        g = CSRGraph.from_edges(src, dst, num_vertices=2)
+        assert g.num_edges == 1
+        assert EtaGraph(g).bfs(0).labels[1] == 1

@@ -1,0 +1,161 @@
+"""Tests for vertex reordering and subgraph extraction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import EtaGraph, EtaGraphConfig, MemoryMode
+from repro.algorithms import cpu_reference
+from repro.errors import GraphFormatError
+from repro.graph import generators
+from repro.graph.reorder import (
+    apply_permutation,
+    bfs_order,
+    degree_order,
+    random_order,
+    reorder,
+)
+from repro.graph.subgraph import (
+    activatable_subgraph,
+    induced_subgraph,
+    largest_component_subgraph,
+)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return generators.rmat(9, 4000, seed=91)
+
+
+class TestPermutation:
+    def test_identity(self, graph):
+        out = apply_permutation(graph, np.arange(graph.num_vertices))
+        assert out == graph
+
+    def test_preserves_structure(self, graph):
+        perm = random_order(graph, seed=1)
+        out = apply_permutation(graph, perm)
+        assert out.num_edges == graph.num_edges
+        # Degree multiset is permutation-invariant.
+        assert sorted(out.out_degrees()) == sorted(graph.out_degrees())
+
+    def test_labels_permute_with_graph(self, graph):
+        """Traversal commutes with relabeling."""
+        src = int(np.argmax(graph.out_degrees()))
+        perm = random_order(graph, seed=2)
+        relabeled = apply_permutation(graph, perm)
+        ref = cpu_reference.bfs_levels(graph, src)
+        out = cpu_reference.bfs_levels(relabeled, int(perm[src]))
+        assert np.array_equal(out[perm], ref)
+
+    def test_rejects_non_permutation(self, graph):
+        with pytest.raises(GraphFormatError):
+            apply_permutation(graph, np.zeros(graph.num_vertices, dtype=int))
+        with pytest.raises(GraphFormatError):
+            apply_permutation(graph, np.arange(5))
+
+    def test_weights_carried(self):
+        from repro.graph.weights import attach_weights
+        g = attach_weights(generators.rmat(6, 300, seed=3), seed=4)
+        out = apply_permutation(g, random_order(g, seed=5))
+        assert out.is_weighted
+        assert sorted(out.edge_weights) == sorted(g.edge_weights)
+
+
+class TestOrderings:
+    def test_bfs_order_starts_at_source(self, graph):
+        src = int(np.argmax(graph.out_degrees()))
+        perm = bfs_order(graph, src)
+        assert perm[src] == 0
+
+    def test_bfs_order_frontier_contiguity(self, graph):
+        """After BFS ordering, each BFS level occupies a contiguous id
+        range — the locality that merges UM faults."""
+        src = int(np.argmax(graph.out_degrees()))
+        g2, perm = reorder(graph, "bfs", source=src)
+        levels = cpu_reference.bfs_levels(g2, int(perm[src]))
+        finite = np.flatnonzero(np.isfinite(levels))
+        # ids sorted by level must already be sorted numerically.
+        assert np.all(np.diff(levels[finite]) >= 0)
+
+    def test_degree_order_hubs_first(self, graph):
+        g2, _perm = reorder(graph, "degree")
+        deg = g2.out_degrees()
+        assert deg[0] == deg.max()
+        assert np.all(np.diff(deg) <= 0)
+
+    def test_unknown_strategy(self, graph):
+        with pytest.raises(GraphFormatError):
+            reorder(graph, "alphabetical")
+
+    @given(seed=st.integers(0, 10))
+    @settings(max_examples=8, deadline=None)
+    def test_engine_invariant_under_reordering(self, seed):
+        g = generators.erdos_renyi(100, 600, seed=seed)
+        perm = random_order(g, seed=seed + 1)
+        g2 = apply_permutation(g, perm)
+        a = EtaGraph(g).bfs(0).labels
+        b = EtaGraph(g2).bfs(int(perm[0])).labels
+        assert np.array_equal(b[perm], a)
+
+    def test_ordering_changes_migration_pattern(self):
+        """BFS (crawl) order produces fewer, larger UM migrations than a
+        random order — the Table V mechanism, isolated."""
+        base = generators.web_chain(20_000, 200_000, depth=30, seed=6)
+        crawl, perm = reorder(base, "bfs", source=0)
+        shuffled = apply_permutation(base, random_order(base, seed=7))
+        cfg = EtaGraphConfig(memory_mode=MemoryMode.UM_ON_DEMAND)
+        r_crawl = EtaGraph(crawl, cfg).bfs(int(perm[0]))
+        # Find the shuffled id of vertex 0.
+        r_rand = EtaGraph(shuffled, cfg).bfs(
+            int(random_order(base, seed=7)[0])
+        )
+        crawl_n = len(r_crawl.profiler.migration_sizes)
+        rand_n = len(r_rand.profiler.migration_sizes)
+        assert crawl_n < rand_n
+        avg_crawl = np.mean(r_crawl.profiler.migration_sizes)
+        avg_rand = np.mean(r_rand.profiler.migration_sizes)
+        assert avg_crawl > avg_rand
+
+
+class TestSubgraph:
+    def test_induced_edges_both_endpoints_inside(self, graph):
+        verts = np.arange(0, graph.num_vertices, 3)
+        sub, old_ids = induced_subgraph(graph, verts)
+        assert sub.num_vertices == len(verts)
+        for u, v in list(sub.iter_edges())[:50]:
+            assert (int(old_ids[u]), int(old_ids[v])) in set(graph.iter_edges())
+
+    def test_out_of_range_rejected(self, graph):
+        with pytest.raises(GraphFormatError):
+            induced_subgraph(graph, np.array([graph.num_vertices + 1]))
+
+    def test_activatable_subgraph_is_fully_reachable(self, graph):
+        src = int(np.argmax(graph.out_degrees()))
+        sub, _old, new_src = activatable_subgraph(graph, src)
+        levels = cpu_reference.bfs_levels(sub, new_src)
+        assert np.isfinite(levels).all()
+
+    def test_activatable_matches_activation_fraction(self, graph):
+        from repro.graph.properties import activation_fraction
+        src = int(np.argmax(graph.out_degrees()))
+        sub, _old, _new = activatable_subgraph(graph, src)
+        assert sub.num_vertices == round(
+            activation_fraction(graph, src) * graph.num_vertices
+        )
+
+    def test_largest_component(self):
+        g = generators.path_graph(10)  # one weak component
+        sub, old_ids = largest_component_subgraph(g)
+        assert sub.num_vertices == 10
+        disconnected = generators.star_graph(3, out=False)
+        from repro.graph.csr import CSRGraph
+        two_parts = CSRGraph.from_edges([0, 2], [1, 3], num_vertices=5)
+        sub2, _ = largest_component_subgraph(two_parts)
+        assert sub2.num_vertices == 2
+
+    def test_weighted_subgraph(self):
+        from repro.graph.weights import attach_weights
+        g = attach_weights(generators.rmat(6, 300, seed=8), seed=9)
+        sub, _ = induced_subgraph(g, np.arange(30))
+        assert sub.edge_weights is not None

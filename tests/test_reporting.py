@@ -1,0 +1,54 @@
+"""Tests for the benchmark reporting helpers."""
+
+import math
+
+from repro.bench.reporting import fmt_speedup, grid_table, ratio
+from repro.bench.runner import CellResult
+
+
+def make_cell(fw, ds, *, oom=False, kernel=1.0, total=2.0):
+    return CellResult(
+        framework=fw, algorithm="bfs", dataset=ds,
+        oom=oom, kernel_ms=kernel, total_ms=total,
+    )
+
+
+class TestGridTable:
+    def test_baseline_cells_show_kernel_and_total(self):
+        cells = {("tigr", "lj"): make_cell("tigr", "lj", kernel=1.5, total=3.0)}
+        out = grid_table("T", ["tigr"], ["lj"], cells)
+        assert "1.500/3.000" in out
+
+    def test_etagraph_rows_show_total_only(self):
+        cells = {("etagraph", "lj"): make_cell("etagraph", "lj", total=3.0)}
+        out = grid_table("T", ["etagraph"], ["lj"], cells,
+                         etagraph_rows=["etagraph"])
+        assert "3.000" in out
+        assert "/" not in out.splitlines()[-1].split("|")[1]
+
+    def test_oom_cells(self):
+        cells = {("cusha", "big"): make_cell("cusha", "big", oom=True)}
+        out = grid_table("T", ["cusha"], ["big"], cells)
+        assert "O.O.M" in out
+
+    def test_missing_cells_dash(self):
+        out = grid_table("T", ["cusha"], ["lj"], {})
+        assert out.splitlines()[-1].split("|")[1].strip() == "-"
+
+    def test_title_included(self):
+        out = grid_table("My Table", ["x"], ["y"], {})
+        assert out.splitlines()[0] == "My Table"
+
+
+class TestHelpers:
+    def test_ratio(self):
+        assert ratio(6.0, 3.0) == 2.0
+        assert math.isinf(ratio(1.0, 0.0))
+
+    def test_fmt_speedup(self):
+        assert fmt_speedup(2.5) == "2.50x"
+
+    def test_cell_text_nan_free_for_oom(self):
+        cell = make_cell("x", "y", oom=True)
+        assert cell.cell_text() == "O.O.M"
+        assert cell.cell_text(etagraph_style=True) == "O.O.M"

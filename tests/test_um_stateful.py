@@ -1,0 +1,93 @@
+"""Stateful property test of the Unified Memory manager.
+
+Drives random sequences of touch / prefetch operations against multiple
+allocations and checks the manager's invariants after every step —
+residency never exceeds the budget (beyond the in-flight burst), counts
+stay consistent, and re-touching resident pages never migrates.
+"""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.gpu.device import GTX_1080TI
+from repro.gpu.memory import DeviceMemory
+from repro.gpu.um import UnifiedMemoryManager
+from repro.utils.units import KIB
+
+
+class UMStateMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self):
+        # Tight budget (32 pages) against two 64-page allocations so
+        # eviction paths are exercised constantly.
+        self.spec = GTX_1080TI.with_capacity(128 * KIB)
+        self.mem = DeviceMemory(self.spec)
+        self.um = UnifiedMemoryManager(self.spec, self.mem)
+        self.arrays = []
+        for i in range(2):
+            arr = self.mem.alloc(
+                f"a{i}", np.zeros(64 * 4096, dtype=np.uint8), kind="um"
+            )
+            self.um.register(arr)
+            self.arrays.append(arr)
+        self.total_migrated = 0
+
+    @rule(
+        which=st.integers(0, 1),
+        start=st.integers(0, 60),
+        count=st.integers(1, 20),
+    )
+    def touch_range(self, which, start, count):
+        arr = self.arrays[which]
+        pages = np.arange(start, min(start + count, 64))
+        before_resident = self.um.total_resident_pages
+        batch = self.um.touch(arr, pages)
+        self.total_migrated += batch.bytes_moved
+        # Migrated bytes cover exactly the previously-missing pages.
+        assert batch.bytes_moved % self.spec.page_bytes == 0
+        assert batch.bytes_moved <= len(pages) * self.spec.page_bytes
+
+    @rule(which=st.integers(0, 1))
+    def retouch_is_free(self, which):
+        arr = self.arrays[which]
+        first = self.um.touch(arr, np.array([0, 1]))
+        second = self.um.touch(arr, np.array([0, 1]))
+        assert second.bytes_moved == 0
+        assert second.time_ms == 0.0
+        self.total_migrated += first.bytes_moved
+
+    @rule(which=st.integers(0, 1))
+    def prefetch(self, which):
+        batch = self.um.prefetch(self.arrays[which])
+        self.total_migrated += batch.bytes_moved
+
+    @invariant()
+    def residency_within_budget(self):
+        if not hasattr(self, "um"):
+            return
+        # After any operation, residency may exceed the budget only by
+        # the single in-flight burst that triggered eviction.
+        budget = self.um.resident_budget_pages
+        assert self.um.total_resident_pages <= budget + 64
+
+    @invariant()
+    def resident_count_matches_bitmaps(self):
+        if not hasattr(self, "um"):
+            return
+        actual = sum(
+            int(state.resident.sum()) for state in self.um._states.values()
+        )
+        assert actual == self.um.total_resident_pages
+
+
+TestUMStateMachine = UMStateMachine.TestCase
+TestUMStateMachine.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)

@@ -1,0 +1,152 @@
+"""Unit and property tests for the utility helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.ragged import ragged_arange, ragged_gather_indices, segment_ids
+from repro.utils.tables import render_table
+from repro.utils.units import format_bytes, format_ms, parse_size, KIB, MIB, GIB
+from repro.utils.validation import (
+    check_nonneg_int,
+    check_positive,
+    check_probability,
+    ensure_array,
+)
+
+
+class TestUnits:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("0", 0),
+            ("4096", 4096),
+            ("2KB", 2 * KIB),
+            ("2kib", 2 * KIB),
+            ("1.5MB", int(1.5 * MIB)),
+            ("11GB", 11 * GIB),
+            (123, 123),
+            (12.7, 12),
+        ],
+    )
+    def test_parse_size(self, text, expected):
+        assert parse_size(text) == expected
+
+    def test_parse_size_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_size("eleven gigabytes")
+
+    def test_parse_size_rejects_negative(self):
+        with pytest.raises(ValueError):
+            parse_size(-1)
+
+    def test_format_bytes(self):
+        assert format_bytes(512) == "512 B"
+        assert format_bytes(2 * KIB) == "2.00 KiB"
+        assert format_bytes(3 * GIB) == "3.00 GiB"
+
+    def test_format_ms(self):
+        assert format_ms(0.5).endswith("us")
+        assert format_ms(12).endswith("ms")
+        assert format_ms(2500).endswith("s")
+
+
+class TestValidation:
+    def test_check_positive(self):
+        assert check_positive("x", 2.0) == 2.0
+        with pytest.raises(ValueError):
+            check_positive("x", 0)
+
+    def test_check_nonneg_int(self):
+        assert check_nonneg_int("n", np.int64(3)) == 3
+        with pytest.raises(ValueError):
+            check_nonneg_int("n", -1)
+        with pytest.raises(TypeError):
+            check_nonneg_int("n", 1.5)
+        with pytest.raises(TypeError):
+            check_nonneg_int("n", True)
+
+    def test_check_probability(self):
+        assert check_probability("p", 0.5) == 0.5
+        with pytest.raises(ValueError):
+            check_probability("p", 1.5)
+
+    def test_ensure_array_converts_dtype(self):
+        out = ensure_array("a", [1, 2, 3], np.int32)
+        assert out.dtype == np.int32
+
+    def test_ensure_array_passes_through(self):
+        a = np.array([1, 2], dtype=np.int32)
+        assert ensure_array("a", a, np.int32) is a
+
+    def test_ensure_array_rejects_2d(self):
+        from repro.errors import GraphFormatError
+        with pytest.raises(GraphFormatError):
+            ensure_array("a", np.zeros((2, 2)), np.int32)
+
+
+class TestRagged:
+    def test_ragged_arange_basic(self):
+        assert list(ragged_arange([3, 2])) == [0, 1, 2, 0, 1]
+
+    def test_ragged_arange_with_zeros(self):
+        assert list(ragged_arange([0, 2, 0, 1])) == [0, 1, 0]
+
+    def test_ragged_arange_empty(self):
+        assert len(ragged_arange([])) == 0
+        assert len(ragged_arange([0, 0])) == 0
+
+    def test_gather_indices(self):
+        out = ragged_gather_indices([10, 20], [2, 3])
+        assert list(out) == [10, 11, 20, 21, 22]
+
+    def test_gather_indices_mismatch(self):
+        with pytest.raises(ValueError):
+            ragged_gather_indices([1], [1, 2])
+
+    def test_segment_ids(self):
+        assert list(segment_ids([2, 0, 3])) == [0, 0, 2, 2, 2]
+
+    @given(st.lists(st.integers(min_value=0, max_value=20), max_size=50))
+    def test_ragged_arange_matches_reference(self, counts):
+        expected = np.concatenate(
+            [np.arange(c) for c in counts] or [np.empty(0, dtype=np.int64)]
+        )
+        assert np.array_equal(ragged_arange(counts), expected)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=1000),
+                st.integers(min_value=0, max_value=10),
+            ),
+            max_size=30,
+        )
+    )
+    def test_gather_matches_reference(self, pairs):
+        starts = [p[0] for p in pairs]
+        counts = [p[1] for p in pairs]
+        expected = np.concatenate(
+            [np.arange(s, s + c) for s, c in pairs]
+            or [np.empty(0, dtype=np.int64)]
+        )
+        assert np.array_equal(ragged_gather_indices(starts, counts), expected)
+
+
+class TestTables:
+    def test_render_basic(self):
+        out = render_table(["a", "bb"], [[1, 2.5], ["x", float("nan")]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert "a" in lines[0] and "bb" in lines[0]
+        assert "-" in lines[1]
+        assert "2.50" in lines[2]
+        assert lines[3].split("|")[1].strip() == "-"  # NaN renders as '-'
+
+    def test_title(self):
+        out = render_table(["h"], [[1]], title="Table X")
+        assert out.splitlines()[0] == "Table X"
+
+    def test_column_count_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["a"], [[1, 2]])
