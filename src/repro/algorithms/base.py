@@ -101,12 +101,14 @@ PROBLEMS: tuple[str, ...] = ("bfs", "sssp", "sswp")
 
 
 def get_problem(name: str) -> TraversalProblem:
-    """Look up a problem instance by name ("bfs", "sssp", "sswp")."""
+    """Look up a problem instance by name ("bfs", "sssp", "sswp", "cc")."""
     from repro.algorithms.bfs import BFS
+    from repro.algorithms.cc import ConnectedComponents
     from repro.algorithms.sssp import SSSP
     from repro.algorithms.sswp import SSWP
 
-    registry = {"bfs": BFS, "sssp": SSSP, "sswp": SSWP}
+    registry = {"bfs": BFS, "sssp": SSSP, "sswp": SSWP,
+                "cc": ConnectedComponents}
     try:
         return registry[name.lower()]()
     except KeyError:

@@ -84,7 +84,7 @@ class LigraLikeCPU(Framework):
         labels = problem.initial_labels(csr.num_vertices, source)
         kernel_ms = 0.0
         iterations = 0
-        active = np.array([source], dtype=np.int64)
+        active = problem.initial_frontier(csr.num_vertices, source)
         offsets = csr.row_offsets
         while len(active):
             check_iteration_budget(iterations, self.name)

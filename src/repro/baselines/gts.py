@@ -74,7 +74,7 @@ class GTSFramework(Framework):
         kernel_ms = 0.0
         streamed_bytes = 0.0
         iterations = 0
-        active = np.array([source], dtype=np.int64)
+        active = problem.initial_frontier(csr.num_vertices, source)
         while len(active):
             check_iteration_budget(iterations, self.name)
             starts = offsets[active].astype(np.int64)

@@ -54,7 +54,7 @@ class SimpleVertexCentric(Framework):
         offsets = csr.row_offsets
         kernel_ms = 0.0
         iterations = 0
-        active = np.array([source], dtype=np.int64)
+        active = problem.initial_frontier(csr.num_vertices, source)
         while len(active):
             check_iteration_budget(iterations, self.name)
             changed, attempted, nbr, edges = propagate_step(

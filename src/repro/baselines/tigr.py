@@ -79,7 +79,7 @@ class TigrFramework(Framework):
 
         kernel_ms = 0.0
         iterations = 0
-        active = np.array([source], dtype=np.int64)
+        active = problem.initial_frontier(csr.num_vertices, source)
         while len(active):
             check_iteration_budget(iterations, self.name)
             # Virtual nodes of the active owners.

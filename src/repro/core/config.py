@@ -66,6 +66,14 @@ class EtaGraphConfig:
     #: array and one extra store per label update); enables
     #: :func:`repro.algorithms.paths.reconstruct_path` on the result.
     track_parents: bool = False
+    #: Run :mod:`repro.testing.invariants` checks inline on the hot path:
+    #: every iteration's shadow slices are verified to exactly partition
+    #: their owners' adjacencies, and the finished result's timeline,
+    #: statistics and profiler counters are cross-checked.  Off by
+    #: default (it costs a sort per iteration); the differential runner
+    #: and the fuzz CLI turn it on so correctness sweeps exercise the
+    #: real engine path, not a mirror of it.
+    check_invariants: bool = False
 
     def __post_init__(self):
         if self.degree_limit < 1:

@@ -154,6 +154,12 @@ class EtaGraphEngine:
         caches = CacheHierarchy(spec)
         prof = Profiler()
         timeline = Timeline()
+        check_udc_partition = check_traversal_result = None
+        if cfg.check_invariants:
+            # Imported lazily: repro.testing imports this module.
+            from repro.testing.invariants import (
+                check_traversal_result, check_udc_partition,
+            )
         um = UnifiedMemoryManager(spec, mem) if cfg.memory_mode.uses_um else None
         clock = 0.0
 
@@ -300,6 +306,8 @@ class EtaGraphEngine:
                 )
             prof.record_kernel(transform.counters)
             transform_ms = transform.time_ms
+            if check_udc_partition is not None:
+                check_udc_partition(shadows, active, offsets, cfg.degree_limit)
 
             # On-demand UM: fault in the pages this iteration reads.
             migration_ms = 0.0
@@ -461,7 +469,7 @@ class EtaGraphEngine:
         total_ms = clock
         d2h_ms = d2h_copy(spec, prof, labels_arr.nbytes)
 
-        return TraversalResult(
+        result = TraversalResult(
             labels=labels.copy(),
             source=source,
             problem_name=problem.name,
@@ -483,3 +491,11 @@ class EtaGraphEngine:
                 "early_exit": target is not None,
             },
         )
+        if check_traversal_result is not None:
+            # Early-exit runs legitimately leave labels beyond the target
+            # unsettled, so the label/stats cross-check only applies to
+            # full traversals.
+            check_traversal_result(
+                result, problem=problem if target is None else None
+            )
+        return result

@@ -56,3 +56,13 @@ class ConfigError(ReproError):
 
 class ConvergenceError(ReproError):
     """Raised when a traversal fails to converge within its iteration budget."""
+
+
+class InvariantViolation(ReproError):
+    """Raised by :mod:`repro.testing.invariants` when a structural invariant
+    of a traversal run is broken (UDC slices not partitioning an adjacency,
+    overlapping timeline intervals, inconsistent cache counters, ...).
+
+    Also raised from the engine's hot path when
+    :attr:`repro.core.config.EtaGraphConfig.check_invariants` is enabled.
+    """

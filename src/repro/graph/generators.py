@@ -18,6 +18,11 @@ Two generators carry the evaluation:
   it, reproducing all three properties by construction.
 
 All generators are deterministic given ``seed`` and fully vectorized.
+Randomness is always drawn from a function-local
+``np.random.default_rng(seed)`` — never from NumPy's module-global RNG —
+so two same-seed calls are bit-identical regardless of what any other
+code has drawn in between (enforced by regression tests in
+``tests/test_graph_generators.py``).
 """
 
 from __future__ import annotations
@@ -140,8 +145,8 @@ def web_chain(
       from vertex 0 then touches only the pocket (the uk-2006 case,
       activation ~1e-4).
 
-    Vertex ids are randomly permuted so address locality does not leak
-    structure into the memory-system model.
+    Vertex ids stay in community (crawl) order — see the comment near the
+    end for why that locality is load-bearing.
     """
     if depth < 1:
         raise DatasetError(f"depth must be >= 1, got {depth}")

@@ -1,0 +1,75 @@
+"""Quick fuzz sweep from the command line.
+
+Usage::
+
+    python -m repro.testing                     # 100 differential cases
+    python -m repro.testing --cases 250 --seed 7
+    python -m repro.testing --fuzz-seconds 30   # time-budgeted smoke run
+    python -m repro.testing --problems bfs cc --baselines gunrock tigr
+
+Exit status 0 when every engine matched the CPU oracle and no invariant
+was violated; 1 otherwise, with per-case divergence context printed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.testing.differential import ALL_BASELINES, ALL_PROBLEMS
+from repro.testing.fuzz import run_fuzz
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.testing",
+        description="Differential/metamorphic fuzz sweep: random graphs "
+                    "and configurations through EtaGraph, every baseline "
+                    "and the CPU oracle.",
+    )
+    parser.add_argument("--cases", type=int, default=None,
+                        help="number of differential cases (default 100 "
+                             "unless --fuzz-seconds is given)")
+    parser.add_argument("--fuzz-seconds", type=float, default=None,
+                        help="time budget instead of a case count")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="sweep seed (default 0); failures print the "
+                             "case number needed to replay")
+    parser.add_argument("--problems", nargs="+", default=list(ALL_PROBLEMS),
+                        choices=ALL_PROBLEMS,
+                        help="problems to rotate through")
+    parser.add_argument("--baselines", nargs="+", default=list(ALL_BASELINES),
+                        choices=ALL_BASELINES,
+                        help="baseline frameworks to include")
+    parser.add_argument("--no-metamorphic", action="store_true",
+                        help="skip the metamorphic checks")
+    parser.add_argument("-q", "--quiet", action="store_true",
+                        help="only print the final summary")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    log = None if args.quiet else (lambda msg: print(msg, flush=True))
+    if log:
+        budget = (f"{args.fuzz_seconds:g}s"
+                  if args.fuzz_seconds is not None
+                  else f"{args.cases or 100} cases")
+        log(f"fuzzing {'/'.join(args.problems)} against "
+            f"{len(args.baselines)} baselines + oracle ({budget}, "
+            f"seed {args.seed})")
+    report = run_fuzz(
+        max_cases=args.cases,
+        max_seconds=args.fuzz_seconds,
+        seed=args.seed,
+        problems=tuple(args.problems),
+        baselines=tuple(args.baselines),
+        metamorphic_every=0 if args.no_metamorphic else 4,
+        log=log,
+    )
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,94 @@
+"""Pytest fixtures exposing the correctness machinery to test suites.
+
+Registered as a plugin from ``tests/conftest.py``::
+
+    pytest_plugins = ("repro.testing.fixtures",)
+
+so any test can take these fixtures without importing the subsystem.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import EtaGraphConfig, MemoryMode
+from repro.graph import generators
+from repro.graph.weights import uniform_int_weights
+from repro.testing.differential import oracle_labels, run_differential_case
+from repro.testing.fuzz import random_config, random_graph
+from repro.testing.metamorphic import run_metamorphic_case
+
+
+@pytest.fixture
+def differential_runner():
+    """:func:`repro.testing.differential.run_differential_case`, ready to
+    call as ``differential_runner(graph, problem, source, **kw)``."""
+    return run_differential_case
+
+
+@pytest.fixture
+def metamorphic_runner():
+    """:func:`repro.testing.metamorphic.run_metamorphic_case`."""
+    return run_metamorphic_case
+
+
+@pytest.fixture
+def oracle():
+    """The CPU oracle dispatcher ``(graph, problem, source) -> labels``."""
+    return lambda csr, problem, source: oracle_labels(csr, problem, source)
+
+
+@pytest.fixture
+def fuzz_case_factory():
+    """Factory for random (graph, source, config) triples: call with a
+    seed to get a reproducible case."""
+
+    def make(seed: int, *, weighted: bool = False):
+        rng = np.random.default_rng(seed)
+        graph = random_graph(rng, weighted=weighted)
+        source = int(rng.integers(graph.num_vertices))
+        return graph, source, random_config(rng)
+
+    return make
+
+
+@pytest.fixture(scope="session")
+def matrix_configs() -> list[EtaGraphConfig]:
+    """The full differential configuration matrix: {UDC in-core/out-of-
+    core} x {SMP on/off} x {UM-prefetch, UM-on-demand, device-copy}."""
+    return [
+        EtaGraphConfig(
+            degree_limit=4, smp=smp, memory_mode=mode, udc_mode=udc,
+            check_invariants=True,
+        )
+        for udc in ("in_core", "out_of_core")
+        for smp in (True, False)
+        for mode in (MemoryMode.UM_PREFETCH, MemoryMode.UM_ON_DEMAND,
+                     MemoryMode.DEVICE)
+    ]
+
+
+@pytest.fixture(scope="session")
+def differential_graphs():
+    """Five deterministic generated graphs per weighting, spanning the
+    shape families (skewed, uniform, regular, deep, star)."""
+
+    def build(weighted: bool):
+        graphs = [
+            generators.rmat(5, 128, seed=11),
+            generators.erdos_renyi(40, 120, seed=12),
+            generators.grid_graph(6, 6),
+            generators.web_chain(60, 240, depth=5, seed=13),
+            generators.star_graph(30),
+        ]
+        if weighted:
+            graphs = [
+                g.with_weights(
+                    uniform_int_weights(g.num_edges, seed=20 + i)
+                )
+                for i, g in enumerate(graphs)
+            ]
+        return graphs
+
+    return build

@@ -1,0 +1,260 @@
+"""Metamorphic correctness relations for graph traversal.
+
+A metamorphic test runs the engine twice — on an input and on a
+label-preserving transformation of it — and checks the known relation
+between the two outputs, with no oracle in sight.  The transforms here
+are the traversal-native ones:
+
+* **vertex relabeling** — traversal is equivariant under vertex
+  permutation: ``labels'[perm[v]] == labels[v]`` (for CC, whose labels
+  *are* vertex ids, the relation weakens to partition equality);
+* **edge-order shuffle** — the CSR builder canonicalizes edge order, so
+  any permutation of the input edge list yields identical output;
+* **uniform weight scaling** — SSSP distances and SSWP widths scale
+  linearly with a uniform positive weight scale (BFS/CC are invariant);
+  power-of-two factors keep float32 arithmetic bit-exact;
+* **source re-rooting on symmetrized graphs** — distance/width is
+  symmetric on an undirected graph, so ``labels_r[s] == labels_s[r]``.
+
+Each transform produces a :class:`MetamorphicCase` carrying the
+transformed input plus a checker that compares the two label vectors and
+returns a :class:`~repro.testing.differential.LabelDiff` on violation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.graph.builder import build_csr_from_edges, symmetrize
+from repro.graph.csr import CSRGraph, WEIGHT_DTYPE
+from repro.testing.differential import LabelDiff, diff_labels
+
+#: Transform names applicable per problem.
+TRANSFORMS_BY_PROBLEM: dict[str, tuple[str, ...]] = {
+    "bfs": ("relabel", "shuffle_edges", "reroot"),
+    "sssp": ("relabel", "shuffle_edges", "scale_weights", "reroot"),
+    "sswp": ("relabel", "shuffle_edges", "scale_weights", "reroot"),
+    "cc": ("relabel", "shuffle_edges"),
+}
+
+
+@dataclass
+class MetamorphicCase:
+    """A transformed input plus the expected output relation."""
+
+    name: str
+    graph: CSRGraph
+    source: int
+    #: ``check(original_labels, transformed_labels) -> LabelDiff | None``.
+    check: Callable[[np.ndarray, np.ndarray], LabelDiff | None]
+
+
+def _edges_with_weights(csr: CSRGraph):
+    src = csr.edge_sources().astype(np.int64)
+    dst = csr.column_indices.astype(np.int64)
+    w = None if csr.edge_weights is None else csr.edge_weights.copy()
+    return src, dst, w
+
+
+def _partition_diff(a: np.ndarray, b: np.ndarray) -> LabelDiff | None:
+    """Do two label vectors induce the same partition of the vertices?
+
+    Used for CC under relabeling, where component representatives (the
+    minimum member ids) legitimately change but the grouping must not.
+    """
+    a = np.asarray(a)
+    b = np.asarray(b)
+    # Canonicalize: map each vertex to the first vertex sharing its label.
+    def canon(x):
+        if len(x) == 0:
+            return np.empty(0, np.int64)
+        _, inverse = np.unique(x, return_inverse=True)
+        first = np.full(int(inverse.max()) + 1, len(x), np.int64)
+        np.minimum.at(first, inverse, np.arange(len(x), dtype=np.int64))
+        return first[inverse]
+
+    return diff_labels(canon(a).astype(WEIGHT_DTYPE),
+                       canon(b).astype(WEIGHT_DTYPE))
+
+
+# ----------------------------------------------------------------------
+# Transforms
+# ----------------------------------------------------------------------
+
+def relabel_vertices(
+    csr: CSRGraph, source: int, problem_name: str, seed: int = 0
+) -> tuple[MetamorphicCase, CSRGraph]:
+    """Permute vertex ids; labels must follow the permutation exactly.
+
+    For CC the comparison weakens to partition equality (labels *are*
+    vertex ids, so representatives legitimately change) and the base
+    graph is symmetrized first: on a directed graph the min-label flood
+    groups vertices by their minimum-id ancestor, a grouping that is
+    itself id-dependent — only the undirected (weakly-connected)
+    partition is permutation-invariant.
+    """
+    rng = np.random.default_rng(seed)
+    base = csr
+    if problem_name == "cc":
+        src, dst, _ = _edges_with_weights(csr)
+        s2, d2 = symmetrize(src, dst)
+        base = build_csr_from_edges(s2, d2, num_vertices=csr.num_vertices)
+    n = base.num_vertices
+    perm = rng.permutation(n).astype(np.int64)
+    src, dst, w = _edges_with_weights(base)
+    graph = build_csr_from_edges(
+        perm[src], perm[dst], num_vertices=n, weights=w
+    )
+
+    if problem_name == "cc":
+        def check(orig, new):
+            return _partition_diff(orig, new[perm])
+    else:
+        def check(orig, new):
+            return diff_labels(orig, new[perm], base)
+
+    case = MetamorphicCase(
+        name="relabel", graph=graph, source=int(perm[source]), check=check
+    )
+    return case, base
+
+
+def shuffle_edge_order(
+    csr: CSRGraph, source: int, problem_name: str, seed: int = 0
+) -> tuple[MetamorphicCase, CSRGraph]:
+    """Permute the input edge list; the canonical CSR — and therefore the
+    output — must be identical."""
+    rng = np.random.default_rng(seed)
+    src, dst, w = _edges_with_weights(csr)
+    order = rng.permutation(len(src))
+    graph = build_csr_from_edges(
+        src[order], dst[order], num_vertices=csr.num_vertices,
+        weights=None if w is None else w[order],
+    )
+    case = MetamorphicCase(
+        name="shuffle_edges", graph=graph, source=source,
+        check=lambda orig, new: diff_labels(orig, new, csr),
+    )
+    return case, csr
+
+
+def scale_weights(
+    csr: CSRGraph, source: int, problem_name: str, factor: float = 4.0
+) -> tuple[MetamorphicCase, CSRGraph]:
+    """Scale all weights by a uniform positive factor.
+
+    SSSP distances and SSWP widths scale by the same factor; the checker
+    divides them back out.  Power-of-two factors make the float32
+    round-trip exact (``inf`` and ``0`` are fixed points of the division,
+    so unreached sentinels survive untouched).
+    """
+    if csr.edge_weights is None:
+        raise ValueError("scale_weights needs a weighted graph")
+    if factor <= 0:
+        raise ValueError(f"scale factor must be positive, got {factor}")
+    graph = csr.with_weights(
+        (csr.edge_weights * WEIGHT_DTYPE(factor)).astype(WEIGHT_DTYPE)
+    )
+
+    def check(orig, new):
+        return diff_labels(
+            orig, (new / WEIGHT_DTYPE(factor)).astype(WEIGHT_DTYPE), csr
+        )
+
+    case = MetamorphicCase(
+        name="scale_weights", graph=graph, source=source, check=check
+    )
+    return case, csr
+
+
+def reroot_symmetric(
+    csr: CSRGraph, source: int, problem_name: str, seed: int = 0
+) -> tuple[MetamorphicCase, CSRGraph]:
+    """Symmetrize the graph and re-root at a random vertex.
+
+    On an undirected graph distance (and bottleneck width) is symmetric:
+    the new run's label at the *old* source must equal the old run's
+    label at the *new* source.  Returns the case plus the symmetrized
+    graph the *original* run must use (both runs traverse the same
+    undirected topology; only the root moves).
+    """
+    rng = np.random.default_rng(seed)
+    src, dst, w = _edges_with_weights(csr)
+    if w is not None:
+        # Symmetrize with matching weights on both edge directions; keep
+        # the minimum where both directions already exist (dedup keeps
+        # the first of the stably sorted pair, so order them explicitly).
+        src2 = np.concatenate([src, dst])
+        dst2 = np.concatenate([dst, src])
+        w2 = np.concatenate([w, w])
+        order = np.lexsort((w2, dst2, src2))
+        sym = build_csr_from_edges(
+            src2[order], dst2[order], num_vertices=csr.num_vertices,
+            weights=w2[order],
+        )
+    else:
+        s2, d2 = symmetrize(src, dst)
+        sym = build_csr_from_edges(s2, d2, num_vertices=csr.num_vertices)
+
+    new_source = int(rng.integers(0, csr.num_vertices))
+
+    def check(orig, new):
+        a = np.asarray([orig[new_source]], dtype=WEIGHT_DTYPE)
+        b = np.asarray([new[source]], dtype=WEIGHT_DTYPE)
+        return diff_labels(a, b)
+
+    case = MetamorphicCase(
+        name="reroot", graph=sym, source=new_source, check=check
+    )
+    return case, sym
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+
+def make_case(
+    transform: str, csr: CSRGraph, source: int, problem_name: str,
+    seed: int = 0,
+) -> tuple[MetamorphicCase, CSRGraph]:
+    """Build a named transform; returns ``(case, graph_for_original_run)``
+    (re-rooting and CC relabeling symmetrize the base topology, the
+    others leave it untouched)."""
+    if transform == "relabel":
+        return relabel_vertices(csr, source, problem_name, seed)
+    if transform == "shuffle_edges":
+        return shuffle_edge_order(csr, source, problem_name, seed)
+    if transform == "scale_weights":
+        factor = float(2 ** (1 + seed % 4))
+        return scale_weights(csr, source, problem_name, factor)
+    if transform == "reroot":
+        return reroot_symmetric(csr, source, problem_name, seed)
+    raise ValueError(f"unknown metamorphic transform {transform!r}")
+
+
+def run_metamorphic_case(
+    csr: CSRGraph,
+    problem_name: str,
+    source: int,
+    transform: str,
+    *,
+    engine=None,
+    seed: int = 0,
+) -> LabelDiff | None:
+    """Run the engine on the original and transformed inputs and check
+    the metamorphic relation; ``None`` means it holds.
+
+    ``engine`` is a ``(graph, problem_name, source) -> labels`` callable,
+    defaulting to EtaGraph with its default configuration.
+    """
+    from repro.testing.differential import etagraph_engine
+
+    if engine is None:
+        engine = etagraph_engine()
+    case, base = make_case(transform, csr, source, problem_name, seed)
+    orig = engine(base, problem_name, source)
+    new = engine(case.graph, problem_name, case.source)
+    return case.check(orig, new)

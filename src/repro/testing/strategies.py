@@ -1,0 +1,143 @@
+"""Hypothesis strategies for graphs and engine configurations.
+
+Builds on :mod:`repro.graph.generators` so the shrunken counterexamples
+Hypothesis reports are reproducible by a single generator call.  The
+graph strategy deliberately over-weights the degenerate shapes traversal
+code gets wrong: empty edge sets, single vertices, isolated sources,
+disconnected components, degree exactly K and degree 0.
+
+Requires the ``hypothesis`` package (part of the ``[test]`` extra); the
+rest of :mod:`repro.testing` — including the fuzz CLI — works without it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+try:
+    from hypothesis import strategies as st
+except ImportError as exc:  # pragma: no cover - exercised only without extras
+    raise ImportError(
+        "repro.testing.strategies requires the 'hypothesis' package "
+        "(pip install repro[test])"
+    ) from exc
+
+from repro.core.config import EtaGraphConfig, MemoryMode
+from repro.graph import generators
+from repro.graph.builder import build_csr_from_edges
+from repro.graph.csr import CSRGraph
+from repro.graph.weights import uniform_int_weights
+
+#: Upper bounds keeping any drawn case sub-second on the simulator.
+MAX_VERTICES = 64
+MAX_EDGES = 256
+
+
+@st.composite
+def csr_graphs(
+    draw,
+    max_vertices: int = MAX_VERTICES,
+    max_edges: int = MAX_EDGES,
+    weighted: bool = False,
+) -> CSRGraph:
+    """A small graph drawn from one of several shape families."""
+    kind = draw(st.sampled_from(
+        ["er", "rmat", "star", "grid", "path", "cycle", "empty",
+         "single", "two_islands"]
+    ))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    if kind == "er":
+        n = draw(st.integers(min_value=2, max_value=max_vertices))
+        m = draw(st.integers(min_value=0, max_value=max_edges))
+        g = generators.erdos_renyi(n, m, seed=seed)
+    elif kind == "rmat":
+        scale = draw(st.integers(min_value=1, max_value=6))
+        m = draw(st.integers(min_value=1, max_value=max_edges))
+        g = generators.rmat(scale, m, seed=seed)
+    elif kind == "star":
+        leaves = draw(st.integers(min_value=1, max_value=max_vertices - 1))
+        g = generators.star_graph(leaves, out=draw(st.booleans()))
+    elif kind == "grid":
+        rows = draw(st.integers(min_value=1, max_value=8))
+        cols = draw(st.integers(min_value=1, max_value=8))
+        g = generators.grid_graph(rows, cols)
+    elif kind == "path":
+        g = generators.path_graph(
+            draw(st.integers(min_value=2, max_value=max_vertices))
+        )
+    elif kind == "cycle":
+        g = generators.cycle_graph(
+            draw(st.integers(min_value=2, max_value=max_vertices))
+        )
+    elif kind == "empty":
+        n = draw(st.integers(min_value=1, max_value=max_vertices))
+        g = build_csr_from_edges(
+            np.empty(0, np.int64), np.empty(0, np.int64), num_vertices=n
+        )
+    elif kind == "single":
+        g = build_csr_from_edges(
+            np.empty(0, np.int64), np.empty(0, np.int64), num_vertices=1
+        )
+    else:  # two disconnected ER islands
+        n = draw(st.integers(min_value=4, max_value=max_vertices))
+        half = n // 2
+        m = draw(st.integers(min_value=0, max_value=max_edges // 2))
+        rng = np.random.default_rng(seed)
+        src_a = rng.integers(0, half, size=m)
+        dst_a = rng.integers(0, half, size=m)
+        src_b = rng.integers(half, n, size=m)
+        dst_b = rng.integers(half, n, size=m)
+        src = np.concatenate([src_a, src_b])
+        dst = np.concatenate([dst_a, dst_b])
+        keep = src != dst
+        g = build_csr_from_edges(src[keep], dst[keep], num_vertices=n)
+    if weighted:
+        g = g.with_weights(
+            uniform_int_weights(g.num_edges, seed=seed ^ 0x5EED)
+        )
+    return g
+
+
+@st.composite
+def graphs_with_sources(
+    draw, weighted: bool = False, **kwargs
+) -> tuple[CSRGraph, int]:
+    """A graph plus a valid source vertex (occasionally an isolated one)."""
+    g = draw(csr_graphs(weighted=weighted, **kwargs))
+    source = draw(st.integers(min_value=0, max_value=g.num_vertices - 1))
+    return g, source
+
+
+@st.composite
+def engine_configs(draw) -> EtaGraphConfig:
+    """An engine configuration spanning the paper's ablation axes."""
+    return EtaGraphConfig(
+        degree_limit=draw(st.sampled_from([1, 2, 3, 4, 8, 32, 1024])),
+        smp=draw(st.booleans()),
+        memory_mode=draw(st.sampled_from([
+            MemoryMode.UM_PREFETCH, MemoryMode.UM_ON_DEMAND,
+            MemoryMode.DEVICE, MemoryMode.ZERO_COPY,
+        ])),
+        udc_mode=draw(st.sampled_from(["in_core", "out_of_core"])),
+        check_invariants=True,
+    )
+
+
+@st.composite
+def degree_sequences(draw, degree_limit: int | None = None) -> tuple[np.ndarray, int]:
+    """``(row_offsets, K)`` with degree-0 and degree-exactly-K vertices
+    forced into the mix — the UDC edge cases."""
+    k = degree_limit if degree_limit is not None else \
+        draw(st.integers(min_value=1, max_value=16))
+    degrees = draw(st.lists(
+        st.one_of(
+            st.integers(min_value=0, max_value=4 * k),
+            st.just(0),           # isolated vertex
+            st.just(k),           # exactly one full slice
+            st.just(k + 1),       # barely overflows into two slices
+        ),
+        min_size=1, max_size=40,
+    ))
+    offsets = np.zeros(len(degrees) + 1, dtype=np.int64)
+    np.cumsum(np.asarray(degrees, dtype=np.int64), out=offsets[1:])
+    return offsets, k

@@ -9,6 +9,10 @@ from repro.graph import generators
 from repro.graph.csr import CSRGraph
 from repro.graph.weights import uniform_int_weights
 
+# Differential/metamorphic fixtures (differential_runner, matrix_configs,
+# differential_graphs, ...) live with the subsystem they exercise.
+pytest_plugins = ("repro.testing.fixtures",)
+
 
 @pytest.fixture
 def tiny_graph() -> CSRGraph:

@@ -1,0 +1,80 @@
+"""Direct unit tests for the host<->device copy model (repro/gpu/transfer.py)."""
+
+import pytest
+
+from repro.gpu.device import GTX_1080TI
+from repro.gpu.profiler import Profiler
+from repro.gpu.transfer import d2h_copy, h2d_copy
+
+
+class TestH2DCopy:
+    def test_pageable_cost_math(self):
+        """Pageable copies pay PCIe latency plus bytes at half bandwidth."""
+        spec = GTX_1080TI
+        prof = Profiler()
+        nbytes = 64 * 1024 * 1024
+        t = h2d_copy(spec, prof, nbytes)
+        expected = spec.pcie_latency_us * 1e-3 + spec.bytes_time_ms(
+            nbytes, spec.pcie_bandwidth_gbps * 0.5
+        )
+        assert t == pytest.approx(expected)
+
+    def test_pinned_cost_math(self):
+        """Pinned copies run at full PCIe bandwidth — strictly faster."""
+        spec = GTX_1080TI
+        prof = Profiler()
+        nbytes = 64 * 1024 * 1024
+        pinned = h2d_copy(spec, prof, nbytes, pinned=True)
+        expected = spec.pcie_latency_us * 1e-3 + spec.bytes_time_ms(
+            nbytes, spec.pcie_bandwidth_gbps
+        )
+        assert pinned == pytest.approx(expected)
+        assert pinned < h2d_copy(spec, prof, nbytes)
+
+    def test_zero_bytes_costs_latency_only(self):
+        """A zero-byte copy still pays the PCIe round-trip latency."""
+        spec = GTX_1080TI
+        prof = Profiler()
+        t = h2d_copy(spec, prof, 0)
+        assert t == pytest.approx(spec.pcie_latency_us * 1e-3)
+        assert t > 0
+        assert prof.h2d_bytes == 0
+        assert prof.h2d_time_ms == pytest.approx(t)
+
+    def test_profiler_accumulates(self):
+        prof = Profiler()
+        t1 = h2d_copy(GTX_1080TI, prof, 1000)
+        t2 = h2d_copy(GTX_1080TI, prof, 2000)
+        assert prof.h2d_bytes == 3000
+        assert prof.h2d_time_ms == pytest.approx(t1 + t2)
+        assert prof.d2h_bytes == 0
+
+    def test_cost_scales_linearly_in_bytes(self):
+        spec = GTX_1080TI
+        prof = Profiler()
+        base = h2d_copy(spec, prof, 0)
+        small = h2d_copy(spec, prof, 1 << 20) - base
+        large = h2d_copy(spec, prof, 4 << 20) - base
+        assert large == pytest.approx(4 * small)
+
+
+class TestD2HCopy:
+    def test_symmetric_with_h2d(self):
+        """The PCIe model is direction-symmetric at equal size."""
+        prof = Profiler()
+        assert d2h_copy(GTX_1080TI, prof, 12345) == pytest.approx(
+            h2d_copy(GTX_1080TI, prof, 12345)
+        )
+
+    def test_records_to_d2h_counters(self):
+        prof = Profiler()
+        t = d2h_copy(GTX_1080TI, prof, 4096)
+        assert prof.d2h_bytes == 4096
+        assert prof.d2h_time_ms == pytest.approx(t)
+        assert prof.h2d_bytes == 0
+
+    def test_zero_bytes_edge_case(self):
+        prof = Profiler()
+        t = d2h_copy(GTX_1080TI, prof, 0)
+        assert t == pytest.approx(GTX_1080TI.pcie_latency_us * 1e-3)
+        assert prof.d2h_bytes == 0

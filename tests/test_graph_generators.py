@@ -143,6 +143,54 @@ class TestSmallGraphs:
                generators.erdos_renyi(100, 500, seed=1)
 
 
+class TestSeedDeterminism:
+    """Regression tests for the generators' determinism contract: every
+    generator draws exclusively from a local ``np.random.default_rng(seed)``
+    and never touches the module-global NumPy RNG."""
+
+    CASES = [
+        ("rmat", lambda s: generators.rmat(7, 900, seed=s)),
+        ("social_network", lambda s: generators.social_network(300, 1500,
+                                                               seed=s)),
+        ("web_chain", lambda s: generators.web_chain(500, 4000, depth=4,
+                                                     seed=s)),
+        ("erdos_renyi", lambda s: generators.erdos_renyi(200, 800, seed=s)),
+    ]
+
+    @pytest.mark.parametrize("name,make", CASES, ids=[c[0] for c in CASES])
+    def test_same_seed_identical(self, name, make):
+        assert make(42) == make(42)
+
+    @pytest.mark.parametrize("name,make", CASES, ids=[c[0] for c in CASES])
+    def test_different_seeds_differ(self, name, make):
+        assert make(42) != make(43)
+
+    def test_weights_deterministic(self):
+        from repro.graph.weights import uniform_int_weights
+
+        a = uniform_int_weights(512, seed=9)
+        b = uniform_int_weights(512, seed=9)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, uniform_int_weights(512, seed=10))
+
+    @pytest.mark.parametrize("name,make", CASES, ids=[c[0] for c in CASES])
+    def test_global_rng_state_untouched(self, name, make):
+        """Generators neither read nor advance ``np.random``'s global
+        state — reseeding it must not change the output, and generating
+        must not consume draws from it."""
+        np.random.seed(0)
+        a = make(7)
+        np.random.seed(12345)
+        b = make(7)
+        assert a == b
+        np.random.seed(99)
+        before = np.random.random(4)
+        np.random.seed(99)
+        make(7)
+        after = np.random.random(4)
+        assert np.array_equal(before, after)
+
+
 class TestProperties:
     def test_lcc_weak_vs_strong(self):
         g = generators.path_graph(10)

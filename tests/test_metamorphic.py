@@ -1,0 +1,113 @@
+"""Metamorphic tests: label-preserving transforms leave output invariant."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.graph import generators
+from repro.graph.weights import uniform_int_weights
+from repro.testing import (
+    TRANSFORMS_BY_PROBLEM,
+    make_case,
+    run_metamorphic_case,
+)
+from repro.testing.strategies import graphs_with_sources
+
+
+def _graph_for(problem: str, seed: int):
+    g = generators.rmat(5, 160, seed=seed)
+    if problem in ("sssp", "sswp"):
+        g = g.with_weights(uniform_int_weights(g.num_edges, seed=seed + 1))
+    return g
+
+
+class TestTransformMatrix:
+    @pytest.mark.parametrize("problem", sorted(TRANSFORMS_BY_PROBLEM))
+    def test_all_transforms_hold(self, problem):
+        g = _graph_for(problem, seed=17)
+        for transform in TRANSFORMS_BY_PROBLEM[problem]:
+            for seed in range(3):
+                diff = run_metamorphic_case(g, problem, 2, transform,
+                                            seed=seed)
+                assert diff is None, (
+                    f"{transform} violated for {problem} "
+                    f"(seed {seed}): {diff}"
+                )
+
+    def test_transforms_also_hold_for_baselines(self):
+        """The relations are engine-agnostic: a baseline satisfies them too."""
+        from repro.testing.differential import baseline_engine
+
+        g = _graph_for("bfs", seed=23)
+        for transform in TRANSFORMS_BY_PROBLEM["bfs"]:
+            diff = run_metamorphic_case(
+                g, "bfs", 1, transform,
+                engine=baseline_engine("gunrock"), seed=5,
+            )
+            assert diff is None, f"{transform} via gunrock: {diff}"
+
+
+class TestTransformMechanics:
+    def test_relabel_permutes_topology(self):
+        g = _graph_for("bfs", seed=3)
+        case, base = make_case("relabel", g, 0, "bfs", seed=1)
+        assert base is g
+        assert case.graph.num_vertices == g.num_vertices
+        assert case.graph.num_edges == g.num_edges
+        assert sorted(case.graph.out_degrees()) == sorted(g.out_degrees())
+
+    def test_shuffle_edges_rebuilds_identical_csr(self):
+        """The CSR builder canonicalizes edge order, so a shuffled edge
+        list reconstructs the *identical* graph object state."""
+        g = _graph_for("sssp", seed=4)
+        case, base = make_case("shuffle_edges", g, 0, "sssp", seed=2)
+        assert case.graph == g
+
+    def test_scale_weights_scales_exactly(self):
+        g = _graph_for("sssp", seed=5)
+        case, _ = make_case("scale_weights", g, 0, "sssp", seed=0)
+        factor = case.graph.edge_weights[0] / g.edge_weights[0]
+        assert np.allclose(case.graph.edge_weights, g.edge_weights * factor)
+
+    def test_reroot_symmetrizes_both_runs(self):
+        g = _graph_for("bfs", seed=6)
+        case, base = make_case("reroot", g, 0, "bfs", seed=3)
+        assert base is not g
+        # base is symmetric: every edge has its reverse.
+        fwd = set(zip(base.edge_sources().tolist(),
+                      base.column_indices.tolist()))
+        assert all((d, s) in fwd for s, d in fwd)
+        assert case.graph is base  # same topology, only the root moves
+
+    def test_violated_relation_is_reported(self):
+        """Meta-test: a deliberately wrong engine fails the relation."""
+        g = _graph_for("bfs", seed=7)
+
+        def lying_engine(csr, problem_name, source):
+            # Sensitive to vertex ids — breaks relabeling equivariance.
+            return np.arange(csr.num_vertices, dtype=np.float32)
+
+        diff = run_metamorphic_case(
+            g, "bfs", 0, "relabel", engine=lying_engine, seed=1
+        )
+        assert diff is not None
+        assert diff.num_mismatches > 0
+
+
+class TestMetamorphicProperties:
+    """Hypothesis sweep: relabeling equivariance for arbitrary graphs."""
+
+    @given(graphs_with_sources())
+    @settings(max_examples=25, deadline=None)
+    def test_bfs_relabel_equivariance(self, gs):
+        g, source = gs
+        diff = run_metamorphic_case(g, "bfs", source, "relabel", seed=11)
+        assert diff is None, str(diff)
+
+    @given(graphs_with_sources(weighted=True))
+    @settings(max_examples=15, deadline=None)
+    def test_sssp_weight_scaling(self, gs):
+        g, source = gs
+        diff = run_metamorphic_case(g, "sssp", source, "scale_weights",
+                                    seed=11)
+        assert diff is None, str(diff)

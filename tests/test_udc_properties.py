@@ -1,0 +1,101 @@
+"""Property tests: UDC shadow slices partition adjacency and respect K.
+
+The Definition 3 invariants as Hypothesis properties over random degree
+distributions — explicitly including degree 0, degree exactly K, and
+degree K + 1 (the "barely two slices" boundary).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+
+from repro.core.udc import ShadowTable, degree_cut
+from repro.errors import InvariantViolation
+from repro.testing.invariants import check_udc_partition
+from repro.testing.strategies import degree_sequences
+
+
+@given(degree_sequences())
+@settings(max_examples=120, deadline=None)
+def test_degree_cut_partitions_adjacency(seq):
+    """For any degree sequence, every active vertex's slices exactly
+    partition its adjacency and no slice exceeds K."""
+    offsets, k = seq
+    n = len(offsets) - 1
+    active = np.arange(n, dtype=np.int64)
+    shadows = degree_cut(active, offsets, k)
+    check_udc_partition(shadows, active, offsets, k)
+    if len(shadows):
+        assert shadows.degrees.max() <= k
+
+
+@given(degree_sequences())
+@settings(max_examples=60, deadline=None)
+def test_degree_cut_on_subset(seq):
+    """The partition property also holds for strict active subsets."""
+    offsets, k = seq
+    n = len(offsets) - 1
+    active = np.arange(0, n, 2, dtype=np.int64)  # every other vertex
+    shadows = degree_cut(active, offsets, k)
+    check_udc_partition(shadows, active, offsets, k)
+
+
+@given(degree_sequences())
+@settings(max_examples=60, deadline=None)
+def test_shadow_table_select_matches_degree_cut(seq):
+    """Out-of-core selection returns the same slices as the on-the-fly cut."""
+    offsets, k = seq
+    n = len(offsets) - 1
+    table = ShadowTable(offsets, k)
+    active = np.arange(n, dtype=np.int64)
+    selected = table.select(active)
+    check_udc_partition(selected, active, offsets, k)
+    fresh = degree_cut(active, offsets, k)
+    assert np.array_equal(selected.ids, fresh.ids)
+    assert np.array_equal(selected.starts, fresh.starts)
+    assert np.array_equal(selected.degrees, fresh.degrees)
+
+
+@given(degree_sequences())
+@settings(max_examples=60, deadline=None)
+def test_shadow_count_formula(seq):
+    """Each vertex contributes exactly ceil(degree / K) shadow vertices."""
+    offsets, k = seq
+    n = len(offsets) - 1
+    active = np.arange(n, dtype=np.int64)
+    shadows = degree_cut(active, offsets, k)
+    degrees = offsets[1:] - offsets[:-1]
+    assert len(shadows) == int((-(-degrees // k)).sum())
+    counts = np.bincount(shadows.ids.astype(np.int64), minlength=n) \
+        if len(shadows) else np.zeros(n, dtype=np.int64)
+    assert np.array_equal(counts, -(-degrees // k))
+
+
+def test_degree_zero_and_exactly_k_edges():
+    """The two boundary degrees the paper's Fig. 3 walks through."""
+    k = 4
+    offsets = np.array([0, 0, 4, 9, 9], dtype=np.int64)  # degrees 0,4,5,0
+    active = np.arange(4, dtype=np.int64)
+    shadows = degree_cut(active, offsets, k)
+    check_udc_partition(shadows, active, offsets, k)
+    assert len(shadows) == 1 + 2  # degree 4 -> one slice; 5 -> two
+    assert list(shadows.ids) == [1, 2, 2]
+    assert list(shadows.degrees) == [4, 4, 1]
+
+
+def test_partition_checker_rejects_corrupt_slices():
+    """The checker itself must catch broken cuts (meta-test)."""
+    offsets = np.array([0, 6], dtype=np.int64)
+    active = np.array([0], dtype=np.int64)
+    shadows = degree_cut(active, offsets, 4)
+    # Corrupt: shift the second slice start so coverage leaves a gap.
+    bad = type(shadows)(
+        ids=shadows.ids,
+        starts=shadows.starts + np.array([0, 1]),
+        degrees=shadows.degrees,
+    )
+    try:
+        check_udc_partition(bad, active, offsets, 4)
+    except InvariantViolation:
+        pass
+    else:
+        raise AssertionError("corrupt slices were not detected")
