@@ -14,6 +14,7 @@ Public surface:
 from repro.core.api import EtaGraph, bfs, sssp, sswp
 from repro.core.config import EtaGraphConfig, MemoryMode
 from repro.core.engine import TraversalResult
+from repro.core.session import EngineSession
 from repro.graph.csr import CSRGraph
 from repro.gpu.device import DeviceSpec, GTX_1080TI
 
@@ -25,6 +26,7 @@ __all__ = [
     "sssp",
     "sswp",
     "EtaGraphConfig",
+    "EngineSession",
     "MemoryMode",
     "TraversalResult",
     "CSRGraph",

@@ -5,6 +5,7 @@ Usage::
     python -m repro.bench               # list experiments
     python -m repro.bench table3        # run one (full datasets)
     python -m repro.bench all --quick   # everything, small datasets only
+    python -m repro.bench compare A B   # diff two --json-dir outputs
 """
 
 from __future__ import annotations
@@ -17,7 +18,40 @@ from repro.bench.experiments import ALL_EXPERIMENTS
 from repro.bench.runner import BenchContext
 
 
+def _compare(argv: list[str]) -> int:
+    """``compare A B``: diff two saved report directories; exit 1 on
+    drift beyond tolerance so CI can gate on it."""
+    from repro.bench.compare import compare_dirs, render
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench compare",
+        description="Diff two --json-dir outputs; nonzero exit on drift.",
+    )
+    parser.add_argument("baseline", help="directory with baseline reports")
+    parser.add_argument("candidate", help="directory with new reports")
+    parser.add_argument(
+        "--tolerance", type=float, default=0.05,
+        help="relative drift tolerance (default 0.05)",
+    )
+    args = parser.parse_args(argv)
+    from pathlib import Path
+
+    for label, d in (("baseline", args.baseline), ("candidate", args.candidate)):
+        if not list(Path(d).glob("*.json")):
+            print(f"{label} directory {d!r} has no reports", file=sys.stderr)
+            return 2
+    drifts = compare_dirs(
+        args.baseline, args.candidate, rel_tolerance=args.tolerance
+    )
+    print(render(drifts))
+    return 1 if drifts else 0
+
+
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv[:1] == ["compare"]:
+        return _compare(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
         description="Regenerate the paper's tables and figures.",

@@ -31,9 +31,19 @@ class Drift:
 
     @property
     def rel_change(self) -> float:
+        """Relative drift; infinite when a zero metric became non-zero
+        (render such drifts as ``0 → x``, not as a percentage)."""
         if self.before == 0:
             return float("inf") if self.after else 0.0
         return (self.after - self.before) / abs(self.before)
+
+    @property
+    def change_text(self) -> str:
+        """Human-readable drift: a percentage when well-defined, an
+        explicit ``0 → x`` transition when the baseline was zero."""
+        if self.before == 0:
+            return f"0 → {self.after:g}" if self.after else "unchanged"
+        return f"{100 * self.rel_change:+.1f}%"
 
 
 def _walk(value, path=""):
@@ -90,7 +100,7 @@ def render(drifts: list[Drift]) -> str:
         return "no drift beyond tolerance"
     rows = [
         [d.experiment, d.path, f"{d.before:g}", f"{d.after:g}",
-         f"{100 * d.rel_change:+.1f}%"]
+         d.change_text]
         for d in drifts
     ]
     return render_table(

@@ -16,6 +16,7 @@ from repro.bench.experiments import (  # noqa: F401
     exp_fig5,
     exp_fig6,
     exp_fig7,
+    exp_multi,
 )
 
 ALL_EXPERIMENTS = {
@@ -30,4 +31,5 @@ ALL_EXPERIMENTS = {
     "fig5": exp_fig5.run,
     "fig6": exp_fig6.run,
     "fig7": exp_fig7.run,
+    "multi": exp_multi.run,
 }

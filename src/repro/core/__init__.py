@@ -5,12 +5,15 @@
 * :mod:`repro.core.smp` — Shared Memory Prefetch planning (Section V)
 * :mod:`repro.core.engine` — Procedure 1's main loop, with the fine-grained
   transfer/compute overlap of Section IV-B
+* :mod:`repro.core.session` — topology-resident sessions: place once,
+  query many times against warm UM residency and caches
 * :mod:`repro.core.api` — the user-facing entry points
 """
 
 from repro.core.config import EtaGraphConfig, MemoryMode
 from repro.core.udc import ShadowVertices, degree_cut
 from repro.core.engine import EtaGraphEngine, TraversalResult
+from repro.core.session import EngineSession
 from repro.core.api import EtaGraph, bfs, sssp, sswp
 
 __all__ = [
@@ -19,6 +22,7 @@ __all__ = [
     "ShadowVertices",
     "degree_cut",
     "EtaGraphEngine",
+    "EngineSession",
     "TraversalResult",
     "EtaGraph",
     "bfs",

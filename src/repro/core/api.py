@@ -8,7 +8,12 @@ The class-based interface::
     result.labels                          # BFS levels
     result.total_ms                        # simulated transfer + kernel time
 
-or the one-shot helpers :func:`bfs`, :func:`sssp`, :func:`sswp`.
+the one-shot helpers :func:`bfs`, :func:`sssp`, :func:`sswp`, or — for
+repeated queries over one graph — a topology-resident session::
+
+    with eta.session() as session:
+        for source in sources:
+            session.query("bfs", source)   # topology placed once
 """
 
 from __future__ import annotations
@@ -17,6 +22,7 @@ import numpy as np
 
 from repro.core.config import EtaGraphConfig
 from repro.core.engine import EtaGraphEngine, TraversalResult
+from repro.core.session import EngineSession
 from repro.gpu.device import DeviceSpec, GTX_1080TI
 from repro.graph.csr import CSRGraph
 
@@ -34,6 +40,14 @@ class EtaGraph:
         self.config = config or EtaGraphConfig()
         self.device = device
         self._engine = EtaGraphEngine(graph, self.config, device)
+        self._path_session: EngineSession | None = None
+
+    def session(self) -> EngineSession:
+        """A topology-resident :class:`~repro.core.session.EngineSession`:
+        the first query places (and prefetches) topology, every further
+        query runs against the warm residency.  The caller owns it —
+        use as a context manager or call ``close()``."""
+        return self._engine.session()
 
     def bfs(self, source: int, target: int | None = None) -> TraversalResult:
         """Breadth-first search from ``source``; labels are BFS levels.
@@ -47,15 +61,21 @@ class EtaGraph:
         """A minimum-hop path ``source -> target`` (BFS + parent pointers).
 
         Raises :class:`repro.algorithms.paths.PathError` if unreachable.
+
+        Path queries share one parent-tracking session per handle, so
+        repeated calls reuse the resident topology instead of re-placing
+        it per query.
         """
         from dataclasses import replace
 
         from repro.algorithms.paths import reconstruct_path
 
-        engine = EtaGraphEngine(
-            self.graph, replace(self.config, track_parents=True), self.device
-        )
-        result = engine.run("bfs", source, target=target)
+        if self._path_session is None or self._path_session.closed:
+            self._path_session = EngineSession(
+                self.graph, replace(self.config, track_parents=True),
+                self.device,
+            )
+        result = self._path_session.query("bfs", source, target=target)
         return reconstruct_path(result.extras["parents"], source, target)
 
     def sssp(self, source: int) -> TraversalResult:

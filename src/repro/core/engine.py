@@ -14,6 +14,11 @@ Per traversal:
 
 The engine is *functionally exact* (labels match the CPU oracles
 bit-for-bit) while all performance numbers come from the GPU model.
+
+The traversal loop itself lives in :mod:`repro.core.session`:
+:class:`~repro.core.session.EngineSession` places topology once and
+serves many queries against warm residency; :meth:`EtaGraphEngine.run`
+is the one-shot path, implemented as a session of one.
 """
 
 from __future__ import annotations
@@ -22,23 +27,13 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.algorithms.base import TraversalProblem, get_problem
-from repro.core.config import EtaGraphConfig, MemoryMode
-from repro.core.frontier import FrontierBuffers
-from repro.core.smp import plan_prefetch
-from repro.core.stats import IterationStats, TraversalStats
-from repro.core.udc import degree_cut
-from repro.errors import ConvergenceError
-from repro.gpu.cache import CacheHierarchy
+from repro.algorithms.base import TraversalProblem
+from repro.core.config import EtaGraphConfig
+from repro.core.stats import TraversalStats
 from repro.gpu.device import DeviceSpec, GTX_1080TI
-from repro.gpu.kernel import simulate_streaming_kernel, simulate_vertex_kernel
-from repro.gpu.memory import DeviceArray, DeviceMemory
 from repro.gpu.profiler import Profiler
 from repro.gpu.timeline import Timeline
-from repro.gpu.transfer import d2h_copy, h2d_copy
-from repro.gpu.um import UnifiedMemoryManager
 from repro.graph.csr import CSRGraph
-from repro.utils.ragged import ragged_gather_indices
 
 
 @dataclass
@@ -60,7 +55,18 @@ class TraversalResult:
     device_bytes: int = 0
     um_bytes: int = 0
     oversubscribed: bool = False
+    #: Topology-placement time paid during *this* call (ms).  Non-zero
+    #: only for the query that triggered session setup — a one-shot
+    #: ``run()`` or the first query of a fresh
+    #: :class:`~repro.core.session.EngineSession`; warm queries report 0.
+    setup_ms: float = 0.0
     extras: dict = field(default_factory=dict)
+
+    @property
+    def query_ms(self) -> float:
+        """This query's own execution time: ``total_ms`` minus the shared
+        topology setup paid during the call."""
+        return self.total_ms - self.setup_ms
 
     @property
     def iterations(self) -> int:
@@ -107,8 +113,15 @@ class EtaGraphEngine:
         self.device = device
 
     # ------------------------------------------------------------------
-    # Public entry point
+    # Public entry points
     # ------------------------------------------------------------------
+
+    def session(self):
+        """A fresh :class:`~repro.core.session.EngineSession` bound to
+        this engine's graph, configuration and device."""
+        from repro.core.session import EngineSession
+
+        return EngineSession(self.csr, self.config, self.device)
 
     def run(
         self,
@@ -119,383 +132,18 @@ class EtaGraphEngine:
     ) -> TraversalResult:
         """Run one traversal; see :class:`TraversalResult`.
 
+        A session of one: topology is placed, the query runs, the session
+        is closed — ``total_ms`` therefore includes the full topology
+        placement cost (recorded in ``result.setup_ms``), faithful to
+        standalone use.
+
         ``target`` enables point-to-point early exit: the loop stops at
         the end of the iteration that settles the target.  Only valid
         for BFS, whose labels are final on first assignment; monotone
         weighted labels (SSSP/SSWP) may still improve later.
         """
-        if isinstance(problem, str):
-            problem = get_problem(problem)
-        problem.check_graph(self.csr)
-        if target is not None:
-            if problem.name != "bfs":
-                from repro.errors import ConfigError
-
-                raise ConfigError(
-                    "early-exit target is only sound for BFS "
-                    f"(got {problem.name})"
-                )
-            if not 0 <= target < self.csr.num_vertices:
-                from repro.errors import InvalidLaunchError
-
-                raise InvalidLaunchError(f"target {target} out of range")
-        cfg = self.config
-        csr = self.csr
-        spec = self.device
-
-        if not 0 <= source < csr.num_vertices:
-            from repro.errors import InvalidLaunchError
-
-            raise InvalidLaunchError(
-                f"source {source} out of range [0, {csr.num_vertices})"
-            )
-
-        mem = DeviceMemory(spec)
-        caches = CacheHierarchy(spec)
-        prof = Profiler()
-        timeline = Timeline()
-        check_udc_partition = check_traversal_result = None
-        if cfg.check_invariants:
-            # Imported lazily: repro.testing imports this module.
-            from repro.testing.invariants import (
-                check_traversal_result, check_udc_partition,
-            )
-        um = UnifiedMemoryManager(spec, mem) if cfg.memory_mode.uses_um else None
-        clock = 0.0
-
-        # SMP needs K words of shared memory per thread: shrink the block
-        # to fit, or fall back to the plain kernel when even one warp's
-        # buffers exceed an SM (physically impossible prefetch).
-        from repro.gpu.sharedmem import max_smp_block_threads
-
-        smp = cfg.smp
-        threads_per_block = cfg.threads_per_block
-        if smp:
-            fit = max_smp_block_threads(spec, cfg.degree_limit)
-            if fit == 0:
-                smp = False
-            else:
-                threads_per_block = min(threads_per_block, fit)
-
-        # --- topology placement ----------------------------------------
-        if cfg.memory_mode.uses_um:
-            topo_kind = "um"
-        elif cfg.memory_mode is MemoryMode.ZERO_COPY:
-            topo_kind = "zerocopy"
-        else:
-            topo_kind = "device"
-        offsets_arr = mem.alloc("row_offsets", csr.row_offsets, kind=topo_kind)
-        cols_arr = mem.alloc("column_indices", csr.column_indices, kind=topo_kind)
-        weights_arr: DeviceArray | None = None
-        if problem.needs_weights:
-            weights_arr = mem.alloc("edge_weights", csr.edge_weights, kind=topo_kind)
-        topo_arrays = [a for a in (offsets_arr, cols_arr, weights_arr) if a]
-
-        if um is not None:
-            for arr in topo_arrays:
-                um.register(arr)
-                # cudaMallocManaged setup cost (page-table registration).
-                clock += spec.um_alloc_overhead_us * 1e-3
-        elif cfg.memory_mode is MemoryMode.ZERO_COPY:
-            # Pinning + mapping the host buffers (cudaHostAlloc path).
-            clock += len(topo_arrays) * spec.um_alloc_overhead_us * 1e-3
-        else:
-            # cudaMemcpy of the whole topology before the first kernel.
-            for arr in topo_arrays:
-                t = h2d_copy(spec, prof, arr.nbytes)
-                timeline.add("transfer", clock, clock + t, nbytes=arr.nbytes,
-                             label=arr.name)
-                clock += t
-
-        # --- working state on device ------------------------------------
-        labels_host = problem.initial_labels(csr.num_vertices, source)
-        labels_arr = mem.alloc("labels", labels_host.copy())
-        labels = labels_arr.data
-        frontier = FrontierBuffers(
-            mem, csr.num_vertices, csr.num_edges, cfg.degree_limit
-        )
-        parents = None
-        if cfg.track_parents:
-            from repro.algorithms.paths import NO_PARENT
-
-            parents_arr = mem.alloc_full(
-                "parents", max(csr.num_vertices, 1), NO_PARENT, np.int32
-            )
-            parents = parents_arr.data
-        t = h2d_copy(spec, prof, labels_arr.nbytes)
-        timeline.add("transfer", clock, clock + t, nbytes=labels_arr.nbytes,
-                     label="labels-init")
-        clock += t
-
-        oversubscribed = False
-        if um is not None:
-            um_bytes = sum(a.nbytes for a in topo_arrays)
-            oversubscribed = um_bytes > um.resident_budget_pages * spec.page_bytes
-
-        if cfg.memory_mode is MemoryMode.UM_PREFETCH:
-            for arr in topo_arrays:
-                batch = um.prefetch(arr, prof)
-                if batch.time_ms:
-                    timeline.add("transfer", clock, clock + batch.time_ms,
-                                 nbytes=batch.bytes_moved, label=f"prefetch-{arr.name}")
-                    clock += batch.time_ms
-
-        # --- optional out-of-core UDC table ------------------------------
-        shadow_table = None
-        if cfg.udc_mode == "out_of_core":
-            from repro.core.udc import ShadowTable
-
-            shadow_table = ShadowTable(csr.row_offsets, cfg.degree_limit)
-            # The table is device-resident: 3 words per shadow vertex plus
-            # per-vertex ranges — this allocation is the space price of
-            # skipping the per-iteration transform (and can OOM).
-            mem.alloc_empty(
-                "shadow_table", 3 * max(len(shadow_table), 1), np.int32
-            )
-            mem.alloc_empty(
-                "shadow_ranges", 2 * max(csr.num_vertices, 1), np.int32
-            )
-            t = h2d_copy(spec, prof, (3 * len(shadow_table)
-                                      + 2 * csr.num_vertices) * 4)
-            timeline.add("transfer", clock, clock + t, label="shadow-table")
-            clock += t
-
-        # --- traversal loop ----------------------------------------------
-        seeds = problem.initial_frontier(csr.num_vertices, source)
-        stats = TraversalStats(
-            num_vertices=csr.num_vertices, seed_count=len(seeds)
-        )
-        visited = np.zeros(csr.num_vertices, dtype=bool)
-        visited[seeds] = True
-        frontier.seed_many(seeds)
-        offsets = csr.row_offsets
-        cols = csr.column_indices
-        weights = csr.edge_weights
-
-        iteration = 0
-        while not frontier.is_empty:
-            if iteration >= cfg.max_iterations:
-                raise ConvergenceError(
-                    f"{problem.name} did not converge within "
-                    f"{cfg.max_iterations} iterations"
-                )
-            active = frontier.active
-            frontier.reset()  # the paper's per-iteration reset-and-reuse
-
-            # actSet2virtActSet kernel: gather offsets, emit 3-tuples —
-            # or, out-of-core, a plain range gather from the shadow table.
-            if shadow_table is not None:
-                shadows = shadow_table.select(active)
-                transform = simulate_streaming_kernel(
-                    spec, caches,
-                    read_bytes=2 * len(active) * 4,
-                    write_bytes=len(shadows) * 4,
-                    n_threads=len(active),
-                    instr_per_thread=8.0,
-                )
-            else:
-                shadows = degree_cut(active, offsets, cfg.degree_limit)
-                transform = simulate_streaming_kernel(
-                    spec, caches,
-                    read_bytes=len(active) * 4,
-                    write_bytes=3 * len(shadows) * 4,
-                    n_threads=len(active),
-                    instr_per_thread=14.0,
-                    scatter_base_address=offsets_arr.base_address,
-                    scatter_indices=np.asarray(active, dtype=np.int64),
-                )
-            prof.record_kernel(transform.counters)
-            transform_ms = transform.time_ms
-            if check_udc_partition is not None:
-                check_udc_partition(shadows, active, offsets, cfg.degree_limit)
-
-            # On-demand UM: fault in the pages this iteration reads.
-            migration_ms = 0.0
-            migration_bytes = 0
-            zero_copy_ms = 0.0
-            if cfg.memory_mode is MemoryMode.ZERO_COPY and len(shadows):
-                # Every topology read crosses PCIe, every iteration, at
-                # the poor efficiency of fine-grained bus reads.  This is
-                # what makes UM strictly better for read-only topology
-                # (Section IV-B).
-                weight_mult = 2 if weights_arr is not None else 1
-                zc_bytes = (len(active) * 8
-                            + shadows.total_edges * 4 * weight_mult)
-                zero_copy_ms = spec.bytes_time_ms(
-                    zc_bytes, spec.pcie_bandwidth_gbps * 0.35
-                )
-                timeline.add("transfer", clock, clock + zero_copy_ms,
-                             nbytes=zc_bytes, label=f"zerocopy-{iteration}")
-            if um is not None and cfg.memory_mode is MemoryMode.UM_ON_DEMAND:
-                batches = [
-                    um.touch_byte_ranges(
-                        offsets_arr,
-                        np.asarray(active, dtype=np.int64) * 4,
-                        np.full(len(active), 8, dtype=np.int64),
-                        prof,
-                    )
-                ]
-                if len(shadows):
-                    starts_b = shadows.starts * 4
-                    lens_b = shadows.degrees * 4
-                    batches.append(
-                        um.touch_byte_ranges(cols_arr, starts_b, lens_b, prof)
-                    )
-                    if weights_arr is not None:
-                        batches.append(
-                            um.touch_byte_ranges(weights_arr, starts_b, lens_b, prof)
-                        )
-                migration_ms = sum(b.time_ms for b in batches)
-                migration_bytes = sum(b.bytes_moved for b in batches)
-            elif um is not None and cfg.memory_mode is MemoryMode.UM_PREFETCH \
-                    and oversubscribed and len(shadows):
-                # Prefetched but oversubscribed: evicted pages re-fault.
-                starts_b = shadows.starts * 4
-                lens_b = shadows.degrees * 4
-                batches = [um.touch_byte_ranges(cols_arr, starts_b, lens_b, prof)]
-                if weights_arr is not None:
-                    batches.append(
-                        um.touch_byte_ranges(weights_arr, starts_b, lens_b, prof)
-                    )
-                migration_ms = sum(b.time_ms for b in batches)
-                migration_bytes = sum(b.bytes_moved for b in batches)
-
-            if len(shadows) == 0:
-                clock += transform_ms
-                stats.record(IterationStats(
-                    index=iteration, active_vertices=len(active),
-                    shadow_vertices=0, edges_scanned=0, updates=0,
-                    newly_visited=0, kernel_ms=0.0, transform_ms=transform_ms,
-                    transfer_ms=migration_ms, elapsed_end_ms=clock,
-                ))
-                iteration += 1
-                continue
-
-            # --- functional step (exact label propagation) ---------------
-            edge_idx = ragged_gather_indices(shadows.starts, shadows.degrees)
-            nbr = cols[edge_idx].astype(np.int64)
-            src_per_edge = np.repeat(
-                labels[shadows.ids.astype(np.int64)], shadows.degrees
-            )
-            w_per_edge = weights[edge_idx] if weights is not None else None
-            cand = problem.candidates(src_per_edge, w_per_edge)
-            attempted = int(problem.improves(cand, labels[nbr]).sum())
-
-            dests = np.unique(nbr)
-            before = labels[dests].copy()
-            problem.scatter_reduce(labels, nbr, cand)
-            changed = dests[labels[dests] != before]
-            newly = changed[~visited[changed]]
-            visited[changed] = True
-
-            if parents is not None and len(changed):
-                # The winning atomic's thread records its own id: any
-                # edge whose candidate equals the final label witnesses
-                # the update.
-                changed_mask = np.zeros(csr.num_vertices, dtype=bool)
-                changed_mask[changed] = True
-                witness = (cand == labels[nbr]) & changed_mask[nbr]
-                src_ids = np.repeat(
-                    shadows.ids.astype(np.int64), shadows.degrees
-                )
-                parents[nbr[witness]] = src_ids[witness]
-
-            # --- kernel cost --------------------------------------------
-            plan = None
-            if smp:
-                plan = plan_prefetch(shadows, offsets, cfg.degree_limit)
-            timing = simulate_vertex_kernel(
-                spec, caches,
-                starts=shadows.starts,
-                degrees=shadows.degrees,
-                adj_array=cols_arr,
-                neighbor_ids=nbr,
-                label_array=labels_arr,
-                weight_array=weights_arr,
-                meta_array=frontier.virt_act_set,
-                meta_words_per_thread=3,
-                smp=smp,
-                smp_planned_words=plan.planned_words if plan else None,
-                degree_limit=cfg.degree_limit,
-                updates=attempted,
-                instr_per_edge=problem.instr_per_edge,
-                threads_per_block=threads_per_block,
-            )
-            prof.record_kernel(timing.counters)
-            kernel_ms = timing.time_ms
-            compute_ms = transform_ms + kernel_ms
-
-            # --- iteration advance: fine-grained overlap -----------------
-            # On-demand faults mostly *stall* the kernel (the SM idles on
-            # the faulting warps), so migration time is largely serial;
-            # ``overlap_efficiency`` is the hidden fraction.  The kernel
-            # interval spans the whole iteration — it is resident (and
-            # partially stalled) while the DMA proceeds, which is what
-            # Fig. 4's concurrent activity bands show.
-            if migration_ms > 0:
-                hidden = cfg.overlap_efficiency * min(compute_ms, migration_ms)
-                iter_ms = compute_ms + migration_ms - hidden
-                timeline.add("compute", clock, clock + iter_ms)
-                timeline.add("transfer", clock, clock + migration_ms,
-                             nbytes=migration_bytes, label=f"iter-{iteration}")
-            elif zero_copy_ms > 0:
-                # Zero-copy reads are the kernel's own loads: fully
-                # pipelined, so the slower of the two pipelines governs.
-                iter_ms = max(compute_ms, zero_copy_ms)
-                timeline.add("compute", clock, clock + iter_ms)
-            else:
-                iter_ms = compute_ms
-                timeline.add("compute", clock, clock + compute_ms)
-            clock += iter_ms
-
-            stats.record(IterationStats(
-                index=iteration,
-                active_vertices=len(active),
-                shadow_vertices=len(shadows),
-                edges_scanned=shadows.total_edges,
-                updates=attempted,
-                newly_visited=len(newly),
-                kernel_ms=kernel_ms,
-                transform_ms=transform_ms,
-                transfer_ms=migration_ms,
-                elapsed_end_ms=clock,
-            ))
-
-            frontier.publish(changed)
-            iteration += 1
-            if target is not None and visited[target]:
-                break
-
-        total_ms = clock
-        d2h_ms = d2h_copy(spec, prof, labels_arr.nbytes)
-
-        result = TraversalResult(
-            labels=labels.copy(),
-            source=source,
-            problem_name=problem.name,
-            total_ms=total_ms,
-            kernel_ms=prof.kernels.elapsed_ms,
-            transfer_ms=prof.h2d_time_ms + prof.migration_time_ms,
-            d2h_ms=d2h_ms,
-            stats=stats,
-            timeline=timeline,
-            profiler=prof,
-            config=cfg,
-            device_bytes=mem.device_bytes_in_use,
-            um_bytes=mem.um_bytes_allocated,
-            oversubscribed=oversubscribed,
-            extras={
-                "smp_effective": smp,
-                "threads_per_block": threads_per_block,
-                "parents": parents.copy() if parents is not None else None,
-                "early_exit": target is not None,
-            },
-        )
-        if check_traversal_result is not None:
-            # Early-exit runs legitimately leave labels beyond the target
-            # unsettled, so the label/stats cross-check only applies to
-            # full traversals.
-            check_traversal_result(
-                result, problem=problem if target is None else None
-            )
-        return result
+        session = self.session()
+        try:
+            return session.query(problem, source, target=target)
+        finally:
+            session.close()

@@ -132,6 +132,25 @@ class UnifiedMemoryManager:
         # modelled as one fault-latency charge per eviction burst.
         batch.time_ms += self.spec.um_fault_latency_us * 1e-3
 
+    def _admit(self, missing: np.ndarray, batch: MigrationBatch) -> np.ndarray:
+        """Evict for an incoming burst and return the pages that remain
+        resident once it completes.
+
+        A burst larger than the whole residency budget thrashes: every
+        page still crosses the bus, but the driver evicts the burst's own
+        earliest pages to make room for its latest, so only the tail
+        survives — residency never exceeds the budget.
+        """
+        self._evict_for(len(missing), batch)
+        capacity = self.resident_budget_pages - self.total_resident_pages
+        if capacity >= len(missing):
+            return missing
+        dropped = len(missing) - max(capacity, 0)
+        batch.evicted_pages += int(dropped)
+        # The within-burst thrash is one more eviction burst.
+        batch.time_ms += self.spec.um_fault_latency_us * 1e-3
+        return missing[dropped:]
+
     # ------------------------------------------------------------------
     # On-demand faulting (w/o UMP path)
     # ------------------------------------------------------------------
@@ -165,7 +184,7 @@ class UnifiedMemoryManager:
         if len(missing) == 0:
             return batch
 
-        self._evict_for(len(missing), batch)
+        stay = self._admit(missing, batch)
 
         # Merge contiguous runs of faulting pages, capped at the driver's
         # maximum migration size — the Table V mechanism.
@@ -186,8 +205,8 @@ class UnifiedMemoryManager:
                 batch.time_ms += time_ms
                 if profiler is not None:
                     profiler.record_migration(nbytes, time_ms)
-        state.resident[missing] = True
-        self.total_resident_pages += len(missing)
+        state.resident[stay] = True
+        self.total_resident_pages += len(stay)
         return batch
 
     def touch_byte_ranges(
@@ -223,12 +242,16 @@ class UnifiedMemoryManager:
         2 MiB chunks at full PCIe bandwidth."""
         state = self._state(array)
         batch = MigrationBatch()
+        # The whole array is being staged for use: refresh every page's
+        # LRU clock, not just the missing ones — otherwise the resident
+        # pages of a just-prefetched array look cold and are the first
+        # evicted by the next fault burst.
+        self._clock += 1
+        state.last_touch[:] = self._clock
         missing = np.flatnonzero(~state.resident)
         if len(missing) == 0:
             return batch
-        self._clock += 1
-        state.last_touch[missing] = self._clock
-        self._evict_for(len(missing), batch)
+        stay = self._admit(missing, batch)
 
         chunk_pages = max(1, self.spec.um_prefetch_chunk_bytes // self.spec.page_bytes)
         breaks = np.flatnonzero(np.diff(missing) != 1) + 1
@@ -243,8 +266,8 @@ class UnifiedMemoryManager:
                 batch.time_ms += time_ms
                 if profiler is not None:
                     profiler.record_migration(nbytes, time_ms)
-        state.resident[missing] = True
-        self.total_resident_pages += len(missing)
+        state.resident[stay] = True
+        self.total_resident_pages += len(stay)
         return batch
 
     # ------------------------------------------------------------------

@@ -193,6 +193,35 @@ def etagraph_engine(
     return run
 
 
+def session_engine(
+    config: EtaGraphConfig | None = None,
+    device: DeviceSpec = GTX_1080TI,
+    *,
+    warm_queries: int = 1,
+) -> EngineFn:
+    """EtaGraph served through a *warm* topology-resident session.
+
+    The session first answers ``warm_queries`` queries from other
+    sources, so the differential case exercises reused UM residency,
+    warm caches and recycled per-query buffers — the state a serving
+    deployment actually runs in — before the labels under test are
+    produced.
+    """
+    from repro.core.session import EngineSession
+
+    def run(csr: CSRGraph, problem_name: str, source: int) -> np.ndarray:
+        problem = get_problem(problem_name)
+        with EngineSession(csr, config, device) as session:
+            if csr.num_vertices > 1:
+                for i in range(warm_queries):
+                    session.query(
+                        problem, (source + 1 + i) % csr.num_vertices
+                    )
+            return session.query(problem, source).labels
+
+    return run
+
+
 def baseline_engine(name: str, device: DeviceSpec = GTX_1080TI) -> EngineFn:
     """A Table III baseline as a pluggable differential engine."""
     from repro.baselines import get_framework
@@ -232,7 +261,12 @@ def run_differential_case(
         config = replace(config, check_invariants=True)
     expected = oracle_labels(csr, problem_name, source)
 
-    engines: dict[str, EngineFn] = {"etagraph": etagraph_engine(config, device)}
+    engines: dict[str, EngineFn] = {
+        "etagraph": etagraph_engine(config, device),
+        # The same engine served through a warm EngineSession: fuzzing
+        # and every differential sweep exercise session reuse for free.
+        "etagraph-session": session_engine(config, device),
+    }
     for name in baselines:
         engines[name] = baseline_engine(name, device)
     if extra_engines:

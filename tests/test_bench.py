@@ -80,5 +80,5 @@ class TestExperimentsQuick:
         from repro.bench.experiments import ALL_EXPERIMENTS
         assert set(ALL_EXPERIMENTS) == {
             "table1", "table2", "table3", "table4", "table5",
-            "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+            "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "multi",
         }

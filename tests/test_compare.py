@@ -75,3 +75,47 @@ class TestRender:
         d = Drift(experiment="x", path="v", before=1.0, after=2.0)
         out = render([d])
         assert "x" in out and "+100.0%" in out
+
+    def test_zero_baseline_rendered_explicitly(self):
+        """A 0 → x transition is shown as such, never as a bare inf%."""
+        d = Drift(experiment="x", path="v", before=0.0, after=3.5)
+        out = render([d])
+        assert "0 → 3.5" in out
+        assert "inf" not in out
+
+    def test_zero_to_zero_change_text(self):
+        d = Drift(experiment="x", path="v", before=0.0, after=0.0)
+        assert d.change_text == "unchanged"
+
+
+class TestCompareCLI:
+    """``python -m repro.bench compare`` is the CI bench gate."""
+
+    def write(self, directory, value):
+        directory.mkdir(exist_ok=True)
+        (directory / "t.json").write_text(
+            json.dumps(report("t", {"v": value}))
+        )
+
+    def test_exit_zero_without_drift(self, tmp_path, capsys):
+        from repro.bench.__main__ import main
+
+        self.write(tmp_path / "a", 1.0)
+        self.write(tmp_path / "b", 1.0)
+        assert main(["compare", str(tmp_path / "a"), str(tmp_path / "b")]) == 0
+        assert "no drift" in capsys.readouterr().out
+
+    def test_exit_one_on_drift(self, tmp_path, capsys):
+        from repro.bench.__main__ import main
+
+        self.write(tmp_path / "a", 1.0)
+        self.write(tmp_path / "b", 2.0)
+        assert main(["compare", str(tmp_path / "a"), str(tmp_path / "b")]) == 1
+        assert "+100.0%" in capsys.readouterr().out
+
+    def test_empty_directory_is_an_error_not_a_pass(self, tmp_path, capsys):
+        from repro.bench.__main__ import main
+
+        self.write(tmp_path / "a", 1.0)
+        (tmp_path / "b").mkdir()
+        assert main(["compare", str(tmp_path / "a"), str(tmp_path / "b")]) == 2

@@ -78,8 +78,8 @@ class TestAllEnginesAgree:
         for graph in differential_graphs(weighted=weighted):
             report = differential_runner(graph, problem, source=0)
             assert report.ok, report.summary()
-            # etagraph + six baselines all reported.
-            assert len(report.engines) == 1 + len(ALL_BASELINES)
+            # etagraph (cold + warm session) + six baselines all reported.
+            assert len(report.engines) == 2 + len(ALL_BASELINES)
 
     def test_isolated_source(self, differential_runner):
         """A source with no out-edges converges immediately everywhere."""
@@ -130,9 +130,9 @@ class TestInjectedBug:
         assert act == exp + 1.0
         assert str(v) in text
         assert "expected" in text
-        # ... and the healthy engine still passes in the same report.
-        [ok] = [e for e in report.engines if e.ok]
-        assert ok.engine == "etagraph"
+        # ... and the healthy engines still pass in the same report.
+        ok = {e.engine for e in report.engines if e.ok}
+        assert ok == {"etagraph", "etagraph-session"}
 
     def test_crashing_engine_is_reported_not_raised(
         self, skewed_graph, differential_runner

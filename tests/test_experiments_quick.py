@@ -64,6 +64,20 @@ class TestQuickRuns:
         assert "#" in report.text
 
     def test_all_experiments_callable(self):
-        assert len(ALL_EXPERIMENTS) == 11
+        assert len(ALL_EXPERIMENTS) == 12
         for name, fn in ALL_EXPERIMENTS.items():
             assert callable(fn), name
+
+    def test_multi_structure(self, ctx):
+        report = ALL_EXPERIMENTS["multi"](quick=True, ctx=ctx)
+        for (ds, variant), row in report.data.items():
+            assert row["num_queries"] == 8
+            # Measured, not reconstructed: the shared setup IS the first
+            # query's topology movement.
+            assert row["shared_setup_ms"] == row["first_setup_ms"] > 0
+            assert row["amortization_speedup"] >= 1.0
+            if variant != "etagraph-noum":
+                # UM modes: warm queries re-migrate nothing while the
+                # quick datasets fit the residency budget.
+                assert row["warm_migrated_bytes"] == 0
+        assert "warm session" in report.text

@@ -1,0 +1,111 @@
+"""Regression tests for UM residency accounting under oversubscription.
+
+Two driver bugs fixed by the session work:
+
+* a fault/prefetch burst larger than the residency budget used to clamp
+  eviction to the available candidates and then mark the whole burst
+  resident, leaving ``total_resident_pages`` permanently above the
+  budget;
+* ``prefetch`` refreshed ``last_touch`` only for missing pages, so the
+  already-resident pages of a just-prefetched array looked cold to LRU
+  eviction and were dropped first.
+"""
+
+import numpy as np
+import pytest
+
+from repro.gpu.device import GTX_1080TI
+from repro.gpu.memory import DeviceMemory
+from repro.gpu.um import UnifiedMemoryManager
+from repro.utils.units import KIB
+
+PAGE = GTX_1080TI.page_bytes
+
+
+def make_um(budget_pages: int):
+    spec = GTX_1080TI.with_capacity(budget_pages * PAGE)
+    mem = DeviceMemory(spec)
+    return spec, mem, UnifiedMemoryManager(spec, mem)
+
+
+def register(um, mem, name, pages):
+    arr = mem.alloc(name, np.zeros(pages * PAGE, dtype=np.uint8), kind="um")
+    um.register(arr)
+    return arr
+
+
+class TestOversubscribedBurst:
+    def test_touch_burst_larger_than_budget_stays_within_budget(self):
+        spec, mem, um = make_um(budget_pages=32)
+        arr = register(um, mem, "big", 64)
+        batch = um.touch(arr, np.arange(64))
+        # Every page crossed the bus ...
+        assert batch.bytes_moved == 64 * PAGE
+        # ... but only the budget's worth stays resident.
+        assert um.total_resident_pages == 32
+        assert um.total_resident_pages <= um.resident_budget_pages
+        # The survivors are the burst's tail (migrated last).
+        assert um.resident_fraction(arr) == pytest.approx(0.5)
+        state = um._states[arr.base_address]
+        assert state.resident[32:].all() and not state.resident[:32].any()
+
+    def test_repeated_oversubscribed_touches_never_leak(self):
+        spec, mem, um = make_um(budget_pages=16)
+        a = register(um, mem, "a", 48)
+        b = register(um, mem, "b", 48)
+        for arr in (a, b, a, b):
+            um.touch(arr, np.arange(48))
+            assert um.total_resident_pages <= um.resident_budget_pages
+
+    def test_prefetch_burst_larger_than_budget_stays_within_budget(self):
+        spec, mem, um = make_um(budget_pages=32)
+        arr = register(um, mem, "big", 64)
+        batch = um.prefetch(arr)
+        assert batch.bytes_moved == 64 * PAGE
+        assert um.total_resident_pages == 32
+        assert batch.evicted_pages == 32
+
+    def test_zero_budget_admits_nothing(self):
+        spec, mem, um = make_um(budget_pages=8)
+        # Device allocations consume the entire capacity: budget is 0.
+        mem.alloc("labels", np.zeros(8 * PAGE, dtype=np.uint8))
+        arr = register(um, mem, "topo", 4)
+        batch = um.touch(arr, np.arange(4))
+        assert batch.bytes_moved == 4 * PAGE  # thrash: moved, then dropped
+        assert um.total_resident_pages == 0
+
+    def test_within_budget_burst_unaffected(self):
+        spec, mem, um = make_um(budget_pages=32)
+        arr = register(um, mem, "small", 16)
+        batch = um.touch(arr, np.arange(16))
+        assert batch.bytes_moved == 16 * PAGE
+        assert batch.evicted_pages == 0
+        assert um.total_resident_pages == 16
+
+
+class TestPrefetchLRURefresh:
+    def test_prefetch_refreshes_resident_pages_clocks(self):
+        spec, mem, um = make_um(budget_pages=24)
+        a = register(um, mem, "a", 16)
+        b = register(um, mem, "b", 16)
+
+        um.prefetch(a)                      # A fully resident (16)
+        um.touch(b, np.arange(8))           # B:0-7 resident (24, at budget)
+        um.prefetch(a)                      # no movement — but A is in use
+        batch = um.touch(b, np.arange(8, 16))  # 8 incoming, must evict 8
+
+        # The re-prefetched A is the most recently used allocation: the
+        # evictions must fall on B's older pages, not on A.
+        assert batch.evicted_pages == 8
+        assert um.resident_fraction(a) == 1.0
+        state_b = um._states[b.base_address]
+        assert not state_b.resident[:8].any()
+        assert state_b.resident[8:].all()
+
+    def test_noop_prefetch_migrates_nothing(self):
+        spec, mem, um = make_um(budget_pages=32)
+        a = register(um, mem, "a", 16)
+        um.prefetch(a)
+        again = um.prefetch(a)
+        assert again.bytes_moved == 0
+        assert again.time_ms == 0.0
