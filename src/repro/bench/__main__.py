@@ -5,17 +5,19 @@ Usage::
     python -m repro.bench               # list experiments
     python -m repro.bench table3        # run one (full datasets)
     python -m repro.bench all --quick   # everything, small datasets only
+    python -m repro.bench all --jobs 4  # same results, process-parallel
+    python -m repro.bench perf          # simulator wall-clock harness
     python -m repro.bench compare A B   # diff two --json-dir outputs
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-import time
 
 from repro.bench.experiments import ALL_EXPERIMENTS
-from repro.bench.runner import BenchContext
+from repro.bench.runner import run_experiments
 
 
 def _compare(argv: list[str]) -> int:
@@ -33,6 +35,11 @@ def _compare(argv: list[str]) -> int:
         "--tolerance", type=float, default=0.05,
         help="relative drift tolerance (default 0.05)",
     )
+    parser.add_argument(
+        "--wall-tolerance", type=float, default=0.75,
+        help="relative tolerance for wall_* (host wall-clock) metrics; "
+        "only *regressions* are flagged (default 0.75)",
+    )
     args = parser.parse_args(argv)
     from pathlib import Path
 
@@ -41,7 +48,8 @@ def _compare(argv: list[str]) -> int:
             print(f"{label} directory {d!r} has no reports", file=sys.stderr)
             return 2
     drifts = compare_dirs(
-        args.baseline, args.candidate, rel_tolerance=args.tolerance
+        args.baseline, args.candidate, rel_tolerance=args.tolerance,
+        wall_tolerance=args.wall_tolerance,
     )
     print(render(drifts))
     return 1 if drifts else 0
@@ -52,6 +60,10 @@ def main(argv: list[str] | None = None) -> int:
         argv = sys.argv[1:]
     if argv[:1] == ["compare"]:
         return _compare(argv[1:])
+    if argv[:1] == ["perf"]:
+        from repro.perf.harness import main as perf_main
+
+        return perf_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
         description="Regenerate the paper's tables and figures.",
@@ -59,11 +71,17 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "experiment",
         nargs="?",
-        help=f"one of: {', '.join(sorted(ALL_EXPERIMENTS))}, or 'all'",
+        help=f"one of: {', '.join(sorted(ALL_EXPERIMENTS))}, 'all', "
+        "'perf', or 'compare A B'",
     )
     parser.add_argument(
         "--quick", action="store_true",
         help="restrict to the small datasets (fast)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="run experiments over N worker processes (same output as "
+        "serial, merged in order)",
     )
     parser.add_argument(
         "--json-dir", default=None,
@@ -75,6 +93,7 @@ def main(argv: list[str] | None = None) -> int:
         print("available experiments:")
         for name in sorted(ALL_EXPERIMENTS):
             print(f"  {name}")
+        print("  perf  (simulator wall-clock harness)")
         return 0
 
     if args.experiment == "all":
@@ -84,21 +103,25 @@ def main(argv: list[str] | None = None) -> int:
     else:
         print(f"unknown experiment {args.experiment!r}", file=sys.stderr)
         return 2
+    if args.jobs < 1:
+        print(f"--jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+        return 2
 
-    ctx = BenchContext()
-    for name in names:
-        t0 = time.time()
-        report = ALL_EXPERIMENTS[name](quick=args.quick, ctx=ctx)
-        print(report.text)
-        print(f"[{name} completed in {time.time() - t0:.1f}s]\n")
-        if args.json_dir:
-            from pathlib import Path
+    out_dir = None
+    if args.json_dir:
+        from pathlib import Path
 
-            from repro.bench.export import save_report
+        out_dir = Path(args.json_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
 
-            out_dir = Path(args.json_dir)
-            out_dir.mkdir(parents=True, exist_ok=True)
-            save_report(report, out_dir / f"{name}.json")
+    for run in run_experiments(names, quick=args.quick, jobs=args.jobs):
+        print(run.text)
+        print(f"[{run.name} completed in {run.elapsed_s:.1f}s]\n")
+        if out_dir is not None:
+            # Same bytes as export.save_report on the live report.
+            (out_dir / f"{run.name}.json").write_text(
+                json.dumps(run.report_dict, indent=2)
+            )
     return 0
 
 

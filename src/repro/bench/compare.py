@@ -9,6 +9,15 @@ after a model change) and then::
 flags every numeric leaf whose relative drift exceeds a tolerance —
 mechanical regression checking for the *shapes*, complementing the bench
 suite's hard assertions.
+
+Two tolerance regimes exist.  Ordinary leaves are deterministic
+simulator outputs and get the tight ``rel_tolerance`` in both
+directions.  Leaves whose key starts with ``wall_`` are **host
+wall-clock** measurements from :mod:`repro.perf` — noisy across
+machines, and only bad in one direction — so they get the generous
+``wall_tolerance`` and are flagged only when they *regress* (throughput
+``wall_*_per_sec`` falling, any other ``wall_*`` time rising).  A faster
+candidate never fails the gate.
 """
 
 from __future__ import annotations
@@ -60,17 +69,40 @@ def _walk(value, path=""):
             yield from _walk(v, f"{path}[{i}]")
 
 
+def is_wall_metric(path: str) -> bool:
+    """Whether a leaf path is a host wall-clock measurement."""
+    return path.rsplit(".", 1)[-1].startswith("wall_")
+
+
+def _wall_regressed(path: str, before: float, after: float,
+                    tolerance: float) -> bool:
+    """Direction-aware gate for wall metrics: throughputs may not fall,
+    times may not rise, each by more than ``tolerance`` (relative)."""
+    denom = max(abs(before), 1e-12)
+    if "per_sec" in path.rsplit(".", 1)[-1]:
+        return (before - after) / denom > tolerance
+    return (after - before) / denom > tolerance
+
+
 def compare_reports(
-    before: dict, after: dict, *, rel_tolerance: float = 0.05
+    before: dict, after: dict, *, rel_tolerance: float = 0.05,
+    wall_tolerance: float = 0.75,
 ) -> list[Drift]:
     """Numeric leaves present in both reports that drifted beyond
-    ``rel_tolerance`` (relative)."""
+    tolerance — ``rel_tolerance`` (symmetric) for deterministic leaves,
+    ``wall_tolerance`` (regressions only) for ``wall_*`` leaves."""
     name = before.get("experiment", "?")
     b = dict(_walk(before.get("data", {})))
     a = dict(_walk(after.get("data", {})))
     drifts = []
     for path in sorted(set(b) & set(a)):
         x, y = b[path], a[path]
+        if is_wall_metric(path):
+            if _wall_regressed(path, x, y, wall_tolerance):
+                drifts.append(
+                    Drift(experiment=name, path=path, before=x, after=y)
+                )
+            continue
         denom = max(abs(x), 1e-12)
         if abs(y - x) / denom > rel_tolerance:
             drifts.append(Drift(experiment=name, path=path, before=x, after=y))
@@ -78,7 +110,8 @@ def compare_reports(
 
 
 def compare_dirs(
-    dir_a: str | Path, dir_b: str | Path, *, rel_tolerance: float = 0.05
+    dir_a: str | Path, dir_b: str | Path, *, rel_tolerance: float = 0.05,
+    wall_tolerance: float = 0.75,
 ) -> list[Drift]:
     """Compare all same-named ``<experiment>.json`` files in two dirs."""
     dir_a, dir_b = Path(dir_a), Path(dir_b)
@@ -89,7 +122,7 @@ def compare_dirs(
             continue
         drifts.extend(compare_reports(
             load_report_dict(file_a), load_report_dict(file_b),
-            rel_tolerance=rel_tolerance,
+            rel_tolerance=rel_tolerance, wall_tolerance=wall_tolerance,
         ))
     return drifts
 

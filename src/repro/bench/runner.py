@@ -5,10 +5,19 @@ the (cached) surrogate dataset, instantiates the requested engine on the
 capacity-scaled device, and returns a uniform :class:`CellResult` — with
 ``oom=True`` instead of timings when the framework exhausts device memory,
 exactly how Table III reports it.
+
+:func:`run_experiments` is the multi-experiment driver behind
+``python -m repro.bench all``: serial by default, or fanned out over a
+process pool with ``jobs > 1``.  Parallel mode is *observationally
+identical* to serial mode — every experiment seeds its own RNGs (no
+global random state exists in the suite), results are merged back in
+request order, and the saved JSON is byte-for-byte what the serial path
+writes.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -124,3 +133,64 @@ def run_cell(
     except DeviceOutOfMemoryError:
         cell.oom = True
     return cell
+
+
+# ----------------------------------------------------------------------
+# Multi-experiment driver (serial or process-parallel)
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class ExperimentRun:
+    """One completed experiment: the rendered report (as a plain dict so
+    it crosses process boundaries losslessly) plus its wall time."""
+
+    name: str
+    text: str
+    report_dict: dict
+    elapsed_s: float
+
+
+def _run_one(name: str, quick: bool, ctx: "BenchContext | None") -> ExperimentRun:
+    # Imported here: the experiment modules import this module.
+    from repro.bench.experiments import ALL_EXPERIMENTS
+    from repro.bench.export import report_to_dict
+
+    t0 = time.time()
+    report = ALL_EXPERIMENTS[name](quick=quick, ctx=ctx or BenchContext())
+    return ExperimentRun(
+        name=name,
+        text=report.text,
+        report_dict=report_to_dict(report),
+        elapsed_s=time.time() - t0,
+    )
+
+
+def _run_one_job(args: tuple[str, bool]) -> ExperimentRun:
+    """Process-pool entry point: fresh context per worker invocation."""
+    name, quick = args
+    return _run_one(name, quick, None)
+
+
+def run_experiments(
+    names: list[str], *, quick: bool = False, jobs: int = 1
+):
+    """Yield one :class:`ExperimentRun` per name, always in ``names``
+    order.  ``jobs > 1`` fans the experiments out over a process pool
+    (results still stream back in order); the report dicts are identical
+    to what a serial run produces."""
+    if jobs <= 1 or len(names) <= 1:
+        ctx = BenchContext()
+        for name in names:
+            yield _run_one(name, quick, ctx)
+        return
+
+    import multiprocessing as mp
+
+    # spawn (not fork): workers start from a clean interpreter, so no
+    # inherited module/RNG/threading state can differ from a fresh
+    # serial run.
+    with mp.get_context("spawn").Pool(min(jobs, len(names))) as pool:
+        yield from pool.imap(
+            _run_one_job, [(name, quick) for name in names], chunksize=1
+        )

@@ -66,6 +66,14 @@ class EtaGraphConfig:
     #: array and one extra store per label update); enables
     #: :func:`repro.algorithms.paths.reconstruct_path` on the result.
     track_parents: bool = False
+    #: Bound on the per-session frontier memo (entries): repeated batch
+    #: queries hitting an already-seen frontier reuse its degree-cut
+    #: result, edge expansion and kernel :class:`~repro.gpu.traceplan.
+    #: TracePlan` instead of recomputing them.  Purely a simulator-side
+    #: speedup — memoized values are label-independent, so results and
+    #: simulated timings are bit-identical with the memo on or off.
+    #: 0 disables memoization.
+    frontier_memo_entries: int = 128
     #: Run :mod:`repro.testing.invariants` checks inline on the hot path:
     #: every iteration's shadow slices are verified to exactly partition
     #: their owners' adjacencies, and the finished result's timeline,
@@ -84,6 +92,11 @@ class EtaGraphConfig:
             raise ConfigError("max_iterations must be >= 1")
         if not 0.0 <= self.overlap_efficiency <= 1.0:
             raise ConfigError("overlap_efficiency must be in [0, 1]")
+        if self.frontier_memo_entries < 0:
+            raise ConfigError(
+                f"frontier_memo_entries must be >= 0, "
+                f"got {self.frontier_memo_entries}"
+            )
         if self.udc_mode not in ("in_core", "out_of_core"):
             raise ConfigError(
                 f"udc_mode must be 'in_core' or 'out_of_core', "

@@ -29,6 +29,9 @@ bit-identical labels and identical clock arithmetic.
 
 from __future__ import annotations
 
+import hashlib
+from collections import OrderedDict
+
 import numpy as np
 
 from repro.algorithms.base import TraversalProblem, get_problem
@@ -40,6 +43,7 @@ from repro.core.udc import degree_cut
 from repro.errors import ConvergenceError, InvalidLaunchError
 from repro.gpu.cache import CacheHierarchy
 from repro.gpu.device import DeviceSpec, GTX_1080TI
+from repro.gpu import kernel as gpukernel
 from repro.gpu.kernel import simulate_streaming_kernel, simulate_vertex_kernel
 from repro.gpu.memory import DeviceArray, DeviceMemory
 from repro.gpu.profiler import Profiler
@@ -48,6 +52,54 @@ from repro.gpu.transfer import d2h_copy, h2d_copy
 from repro.gpu.um import UnifiedMemoryManager
 from repro.graph.csr import CSRGraph
 from repro.utils.ragged import ragged_gather_indices
+from repro.utils.sorting import sorted_unique
+
+
+class _FrontierExpansion:
+    """Memoized label-independent expansion of one frontier.
+
+    Every field is a pure function of (topology, config, active-set
+    content, array placement): the shadow slices, their flat CSR edge
+    indices, neighbor ids, sorted unique destinations, per-edge weights
+    and the kernel's :class:`~repro.gpu.traceplan.TracePlan` — in the
+    spirit of :meth:`~repro.core.udc.ShadowTable.select`, but on demand
+    and for every per-iteration derivation, not just the degree cut.
+    Label-dependent values (candidates, update counts) are never stored,
+    so reusing an entry is bit-identical to recomputing it.
+
+    ``trace_plan`` and ``src_ids`` are filled lazily: the plan on the
+    first kernel launch over this frontier, the per-edge source ids only
+    if a parent-tracking query needs them.
+    """
+
+    __slots__ = (
+        "shadows", "ids64", "edge_idx", "nbr", "dests", "w_per_edge",
+        "trace_plan", "src_ids",
+    )
+
+    def __init__(self, *, shadows, ids64, edge_idx, nbr, dests, w_per_edge):
+        self.shadows = shadows
+        self.ids64 = ids64
+        self.edge_idx = edge_idx
+        self.nbr = nbr
+        self.dests = dests
+        self.w_per_edge = w_per_edge
+        self.trace_plan = None
+        self.src_ids = None
+
+    @property
+    def nbytes(self) -> int:
+        total = (
+            self.shadows.nbytes + self.ids64.nbytes + self.edge_idx.nbytes
+            + self.nbr.nbytes + self.dests.nbytes
+        )
+        if self.w_per_edge is not None:
+            total += self.w_per_edge.nbytes
+        if self.trace_plan is not None:
+            total += self.trace_plan.nbytes
+        if self.src_ids is not None:
+            total += self.src_ids.nbytes
+        return total
 
 
 class EngineSession:
@@ -88,6 +140,12 @@ class EngineSession:
         self.setup_transfer_bytes = 0
         #: Completed queries served by this session.
         self.queries_served = 0
+        #: Frontier-memo counters: a hit means a query iteration reused a
+        #: previously computed degree cut / edge expansion / trace plan.
+        self.memo_hits = 0
+        self.memo_misses = 0
+        self._frontier_memo: OrderedDict[tuple, _FrontierExpansion] = \
+            OrderedDict()
 
         # SMP needs K words of shared memory per thread: shrink the block
         # to fit, or fall back to the plain kernel when even one warp's
@@ -345,6 +403,56 @@ class EngineSession:
             raise InvalidLaunchError("session is closed")
 
     # ------------------------------------------------------------------
+    # Frontier memo
+    # ------------------------------------------------------------------
+
+    @property
+    def memo_entries(self) -> int:
+        return len(self._frontier_memo)
+
+    @property
+    def memo_bytes(self) -> int:
+        """Host memory currently retained by the frontier memo."""
+        return sum(e.nbytes for e in self._frontier_memo.values())
+
+    def _memo_key(
+        self,
+        active: np.ndarray,
+        labels_arr: DeviceArray,
+        weights_arr: DeviceArray | None,
+    ) -> tuple:
+        # Content hash of the active set plus the placement facts the
+        # memoized values depend on: the labels array (reallocated when a
+        # query switches label dtype, which would invalidate the trace
+        # plan's addresses) and whether weights join the trace.  Topology
+        # arrays and config are fixed for the session's lifetime.
+        digest = hashlib.blake2b(
+            np.ascontiguousarray(active).tobytes(), digest_size=16
+        ).digest()
+        return (
+            digest,
+            len(active),
+            labels_arr.base_address,
+            labels_arr.itemsize,
+            weights_arr.base_address if weights_arr is not None else -1,
+        )
+
+    def _memo_get(self, key: tuple) -> _FrontierExpansion | None:
+        entry = self._frontier_memo.get(key)
+        if entry is not None:
+            self._frontier_memo.move_to_end(key)
+            self.memo_hits += 1
+        else:
+            self.memo_misses += 1
+        return entry
+
+    def _memo_put(self, key: tuple, entry: _FrontierExpansion) -> None:
+        memo = self._frontier_memo
+        memo[key] = entry
+        while len(memo) > self.config.frontier_memo_entries:
+            memo.popitem(last=False)
+
+    # ------------------------------------------------------------------
     # Query
     # ------------------------------------------------------------------
 
@@ -456,10 +564,20 @@ class EngineSession:
             active = frontier.active
             frontier.reset()  # the paper's per-iteration reset-and-reuse
 
+            # Frontier memo: an already-seen active set reuses its whole
+            # label-independent expansion (degree cut, edge gather, trace
+            # plan).  The transform kernel below still runs — its cache
+            # traffic and cost are paid every iteration either way.
+            entry = key = None
+            if cfg.frontier_memo_entries > 0:
+                key = self._memo_key(active, labels_arr, weights_arr)
+                entry = self._memo_get(key)
+
             # actSet2virtActSet kernel: gather offsets, emit 3-tuples —
             # or, out-of-core, a plain range gather from the shadow table.
             if shadow_table is not None:
-                shadows = shadow_table.select(active)
+                shadows = entry.shadows if entry is not None \
+                    else shadow_table.select(active)
                 transform = simulate_streaming_kernel(
                     spec, caches,
                     read_bytes=2 * len(active) * 4,
@@ -468,7 +586,8 @@ class EngineSession:
                     instr_per_thread=8.0,
                 )
             else:
-                shadows = degree_cut(active, offsets, cfg.degree_limit)
+                shadows = entry.shadows if entry is not None \
+                    else degree_cut(active, offsets, cfg.degree_limit)
                 transform = simulate_streaming_kernel(
                     spec, caches,
                     read_bytes=len(active) * 4,
@@ -546,16 +665,29 @@ class EngineSession:
                 continue
 
             # --- functional step (exact label propagation) ---------------
-            edge_idx = ragged_gather_indices(shadows.starts, shadows.degrees)
-            nbr = cols[edge_idx].astype(np.int64)
-            src_per_edge = np.repeat(
-                labels[shadows.ids.astype(np.int64)], shadows.degrees
-            )
-            w_per_edge = weights[edge_idx] if weights is not None else None
-            cand = problem.candidates(src_per_edge, w_per_edge)
+            if entry is None:
+                edge_idx = ragged_gather_indices(
+                    shadows.starts, shadows.degrees
+                )
+                nbr = cols[edge_idx].astype(np.int64)
+                entry = _FrontierExpansion(
+                    shadows=shadows,
+                    ids64=shadows.ids.astype(np.int64),
+                    edge_idx=edge_idx,
+                    nbr=nbr,
+                    dests=sorted_unique(nbr),
+                    w_per_edge=(
+                        weights[edge_idx] if weights is not None else None
+                    ),
+                )
+                if key is not None:
+                    self._memo_put(key, entry)
+            nbr = entry.nbr
+            dests = entry.dests
+            src_per_edge = np.repeat(labels[entry.ids64], shadows.degrees)
+            cand = problem.candidates(src_per_edge, entry.w_per_edge)
             attempted = int(problem.improves(cand, labels[nbr]).sum())
 
-            dests = np.unique(nbr)
             before = labels[dests].copy()
             problem.scatter_reduce(labels, nbr, cand)
             changed = dests[labels[dests] != before]
@@ -569,15 +701,32 @@ class EngineSession:
                 changed_mask = np.zeros(csr.num_vertices, dtype=bool)
                 changed_mask[changed] = True
                 witness = (cand == labels[nbr]) & changed_mask[nbr]
-                src_ids = np.repeat(
-                    shadows.ids.astype(np.int64), shadows.degrees
-                )
-                parents[nbr[witness]] = src_ids[witness]
+                if entry.src_ids is None:
+                    entry.src_ids = np.repeat(entry.ids64, shadows.degrees)
+                parents[nbr[witness]] = entry.src_ids[witness]
 
             # --- kernel cost --------------------------------------------
-            plan = None
-            if smp:
-                plan = plan_prefetch(shadows, offsets, cfg.degree_limit)
+            if entry.trace_plan is None:
+                smp_plan = (
+                    plan_prefetch(shadows, offsets, cfg.degree_limit)
+                    if smp else None
+                )
+                entry.trace_plan = gpukernel.build_vertex_trace(
+                    spec,
+                    starts=shadows.starts,
+                    degrees=shadows.degrees,
+                    adj_array=cols_arr,
+                    neighbor_ids=nbr,
+                    label_array=labels_arr,
+                    weight_array=weights_arr,
+                    meta_array=frontier.virt_act_set,
+                    meta_words_per_thread=3,
+                    smp=smp,
+                    smp_planned_words=(
+                        smp_plan.planned_words if smp_plan else None
+                    ),
+                    trace_cap=gpukernel.TRACE_CAP,
+                )
             timing = simulate_vertex_kernel(
                 spec, caches,
                 starts=shadows.starts,
@@ -589,11 +738,11 @@ class EngineSession:
                 meta_array=frontier.virt_act_set,
                 meta_words_per_thread=3,
                 smp=smp,
-                smp_planned_words=plan.planned_words if plan else None,
                 degree_limit=cfg.degree_limit,
                 updates=attempted,
                 instr_per_edge=problem.instr_per_edge,
                 threads_per_block=threads_per_block,
+                plan=entry.trace_plan,
             )
             prof.record_kernel(timing.counters)
             kernel_ms = timing.time_ms

@@ -42,6 +42,11 @@ class ShadowVertices:
     def total_edges(self) -> int:
         return int(self.degrees.sum())
 
+    @property
+    def nbytes(self) -> int:
+        """Host memory held by the three columns (for memo budgeting)."""
+        return self.ids.nbytes + self.starts.nbytes + self.degrees.nbytes
+
     def ends(self) -> np.ndarray:
         """Exclusive end edge-index of each slice (the paper's 3rd field)."""
         return self.starts + self.degrees

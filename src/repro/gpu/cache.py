@@ -19,6 +19,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.gpu.device import DeviceSpec
+from repro.utils.sorting import stable_argsort
 
 _NEVER = -(1 << 62)
 
@@ -62,9 +63,9 @@ class ReuseWindowCache:
         # Previous occurrence of each sector: within the batch via a
         # stable sort (equal sectors stay in stream order), falling back
         # to the persistent last-access table for first occurrences.
-        order = np.argsort(sectors, kind="stable")
+        order = stable_argsort(sectors)
         sorted_sectors = sectors[order]
-        sorted_positions = positions[order]
+        sorted_positions = self._clock + order
         prev_sorted = self._last[sorted_sectors]
         same_as_left = np.empty(n, dtype=bool)
         same_as_left[0] = False

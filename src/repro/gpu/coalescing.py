@@ -9,13 +9,21 @@ The central primitive here is :func:`coalesce`: given per-access byte
 addresses and an integer *group key* identifying which accesses are issued
 simultaneously (same warp, same step — or same warp for an unrolled SMP
 burst), it returns one representative sector per transaction.  Everything
-is one ``np.unique`` over a packed 64-bit key, so tracing millions of edge
-accesses stays cheap.
+is one sorted dedup over a packed 64-bit ``(group, sector)`` key, so
+tracing millions of edge accesses stays cheap.
+
+The packing stage is exposed separately (:func:`scatter_packed_keys`,
+:func:`run_packed_keys`, :func:`packed_to_sectors`) so that
+:class:`repro.gpu.traceplan.TracePlan` can fuse the packed keys of *all*
+of a launch's access streams into a single sort instead of one per
+stream.
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+from repro.utils.sorting import sorted_unique
 
 #: Bits reserved for the sector id inside the packed (group, sector) key.
 #: 2**38 sectors * 32 B = 8 TiB of address space — far beyond any
@@ -51,6 +59,18 @@ def coalesce(
     the transaction count; the array doubles as the access stream fed to
     the cache model.
     """
+    packed = scatter_packed_keys(addresses, group_keys, sector_bytes)
+    return packed_to_sectors(sorted_unique(packed))
+
+
+def scatter_packed_keys(
+    addresses: np.ndarray,
+    group_keys: np.ndarray,
+    sector_bytes: int = 32,
+) -> np.ndarray:
+    """The packed ``(group << SECTOR_BITS) | sector`` key of every access
+    (unsorted, undeduplicated) — :func:`coalesce` is a sorted dedup of
+    this array."""
     addresses = np.asarray(addresses, dtype=np.int64)
     group_keys = np.asarray(group_keys, dtype=np.int64)
     if addresses.shape != group_keys.shape:
@@ -63,9 +83,23 @@ def coalesce(
     sectors = addresses // sector_bytes
     if sectors.max() > _SECTOR_MASK:
         raise ValueError("address exceeds simulated address space")
-    packed = (group_keys << _SECTOR_BITS) | sectors
-    unique = np.unique(packed)
-    return unique & _SECTOR_MASK
+    return (group_keys << _SECTOR_BITS) | sectors
+
+
+def packed_to_sectors(packed: np.ndarray) -> np.ndarray:
+    """Strip the group key off packed ``(group, sector)`` keys."""
+    return packed & _SECTOR_MASK
+
+
+def max_group_key(packed: np.ndarray) -> int:
+    """Largest group key present in a packed-key array (0 when empty).
+
+    Packed keys are non-negative and group-major, so the maximum packed
+    key carries the maximum group key.
+    """
+    if len(packed) == 0:
+        return 0
+    return int(packed.max()) >> _SECTOR_BITS
 
 
 def warp_ids(n_threads: int, warp_size: int = 32) -> np.ndarray:
@@ -121,6 +155,21 @@ def contiguous_run_sectors(
     Used for SMP adjacency bursts, where each lane reads its whole CSR
     slice front-to-back.
     """
+    packed = run_packed_keys(
+        start_addresses, lengths_bytes, group_keys, sector_bytes
+    )
+    return packed_to_sectors(sorted_unique(packed))
+
+
+def run_packed_keys(
+    start_addresses: np.ndarray,
+    lengths_bytes: np.ndarray,
+    group_keys: np.ndarray,
+    sector_bytes: int = 32,
+) -> np.ndarray:
+    """Packed ``(group, sector)`` keys of per-lane contiguous runs
+    (unsorted, undeduplicated) — the packing stage of
+    :func:`contiguous_run_sectors`."""
     start = np.asarray(start_addresses, dtype=np.int64)
     length = np.asarray(lengths_bytes, dtype=np.int64)
     group = np.asarray(group_keys, dtype=np.int64)
@@ -137,6 +186,4 @@ def contiguous_run_sectors(
 
     sectors = np.repeat(first, counts) + ragged_arange(counts)
     groups = np.repeat(group, counts)
-    packed = (groups << _SECTOR_BITS) | sectors
-    unique = np.unique(packed)
-    return unique & _SECTOR_MASK
+    return (groups << _SECTOR_BITS) | sectors

@@ -37,10 +37,12 @@ from repro.gpu.cache import CacheHierarchy
 from repro.gpu.device import DeviceSpec
 from repro.gpu.memory import DeviceArray
 from repro.gpu.profiler import KernelCounters
-from repro.utils.ragged import ragged_arange
-
-#: Maximum traced edge accesses per launch before warp sampling kicks in.
-TRACE_CAP = 400_000
+from repro.gpu.traceplan import (
+    TRACE_CAP,
+    TracePlan,
+    build_vertex_trace,
+    plan_fingerprint,
+)
 
 
 @dataclass(frozen=True)
@@ -148,6 +150,7 @@ def simulate_vertex_kernel(
     idle_threads: int = 0,
     idle_instr: float = 6.0,
     threads_per_block: int = 256,
+    plan: TracePlan | None = None,
 ) -> KernelTiming:
     """Simulate one vertex-centric traversal kernel launch.
 
@@ -173,6 +176,13 @@ def simulate_vertex_kernel(
     updates:
         Number of label updates performed (scattered stores + atomic
         frontier appends).
+    plan:
+        A :class:`TracePlan` previously built for *this exact launch*
+        (same arrays, same shapes) by :func:`build_vertex_trace` —
+        typically from the engine session's frontier memo.  When given,
+        the whole trace pipeline (sampling, edge expansion, coalescing
+        sort) is skipped; only the stateful cache walk and the
+        instruction model run.  The plan's fingerprint is checked.
     """
     starts = np.asarray(starts, dtype=np.int64)
     degrees = np.asarray(degrees, dtype=np.int64)
@@ -191,125 +201,48 @@ def simulate_vertex_kernel(
     warp_size = spec.warp_size
 
     # ------------------------------------------------------------------
-    # Warp sampling for very large launches
+    # Memory trace: warp sampling, edge expansion and coalescing all
+    # happen inside the plan (built once here, or reused from a memo).
     # ------------------------------------------------------------------
-    scale = 1.0
-    if total_edges > TRACE_CAP and n_threads > warp_size:
-        n_warps_all = -(-n_threads // warp_size)
-        stride = max(1, int(np.ceil(total_edges / TRACE_CAP)))
-        thread_ids = np.arange(n_threads)
-        keep = (thread_ids // warp_size) % stride == 0
-        kept_edges = int(degrees[keep].sum())
-        if kept_edges > 0:
-            edge_keep = np.repeat(keep, degrees)
-            starts, degrees = starts[keep], degrees[keep]
-            neighbor_ids = np.asarray(neighbor_ids)[edge_keep]
-            if smp_planned_words is not None:
-                smp_planned_words = np.asarray(smp_planned_words)[keep]
-            scale = total_edges / kept_edges
-            n_threads = len(starts)
-            del edge_keep
-        del thread_ids, keep
-
-    sampled_edges = int(degrees.sum())
-    n_warps = -(-max(n_threads, 1) // warp_size)
-    thread_ids = np.arange(n_threads, dtype=np.int64)
-
-    # ------------------------------------------------------------------
-    # Memory transactions
-    # ------------------------------------------------------------------
-    streams: list[np.ndarray] = []
-
-    # Frontier / virtual-active-set metadata: consecutive threads read
-    # consecutive entries -> fully coalesced.
-    if meta_array is not None and meta_words_per_thread > 0 and n_threads:
-        meta_starts = meta_array.base_address + thread_ids * (
-            meta_words_per_thread * meta_array.itemsize
+    if plan is None:
+        plan = build_vertex_trace(
+            spec,
+            starts=starts,
+            degrees=degrees,
+            adj_array=adj_array,
+            neighbor_ids=neighbor_ids,
+            label_array=label_array,
+            weight_array=weight_array,
+            meta_array=meta_array,
+            meta_words_per_thread=meta_words_per_thread,
+            smp=smp,
+            smp_planned_words=smp_planned_words,
+            idle_threads=idle_threads,
+            trace_cap=TRACE_CAP,
         )
-        meta_len = np.full(
-            n_threads, meta_words_per_thread * meta_array.itemsize, dtype=np.int64
-        )
-        streams.append(
-            coalescing.contiguous_run_sectors(
-                meta_starts, meta_len, coalescing.burst_group_keys(thread_ids),
-                spec.sector_bytes,
-            )
-        )
+    else:
+        plan.check_compatible(plan_fingerprint(
+            spec,
+            n_threads=n_threads,
+            total_edges=total_edges,
+            adj_array=adj_array,
+            label_array=label_array,
+            weight_array=weight_array,
+            meta_array=meta_array,
+            meta_words_per_thread=meta_words_per_thread,
+            smp=smp,
+            idle_threads=idle_threads,
+        ))
 
-    # Adjacency (and weights): contiguous per lane.
-    itemsize = adj_array.itemsize
-    if sampled_edges:
-        if smp:
-            # Unrolled burst: the whole warp's prefetch loads coalesce.
-            # The burst length is the *planned* K / K-1 bin size, which
-            # may over-fetch beyond the actual slice (Section V-B).
-            burst_words = (
-                np.asarray(smp_planned_words, dtype=np.int64)
-                if smp_planned_words is not None
-                else degrees
-            )
-            adj_streams = coalescing.contiguous_run_sectors(
-                adj_array.addresses_of(starts),
-                burst_words * itemsize,
-                coalescing.burst_group_keys(thread_ids),
-                spec.sector_bytes,
-            )
-            streams.append(adj_streams)
-            if weight_array is not None:
-                streams.append(
-                    coalescing.contiguous_run_sectors(
-                        weight_array.addresses_of(starts),
-                        burst_words * weight_array.itemsize,
-                        coalescing.burst_group_keys(thread_ids),
-                        spec.sector_bytes,
-                    )
-                )
-        else:
-            # One scattered warp access per loop step.
-            steps = ragged_arange(degrees)
-            edge_thread = np.repeat(thread_ids, degrees)
-            keys = coalescing.strided_group_keys(edge_thread, steps, warp_size)
-            edge_idx = np.repeat(starts, degrees) + steps
-            streams.append(
-                coalescing.coalesce(
-                    adj_array.addresses_of(edge_idx), keys, spec.sector_bytes
-                )
-            )
-            if weight_array is not None:
-                streams.append(
-                    coalescing.coalesce(
-                        weight_array.addresses_of(edge_idx), keys, spec.sector_bytes
-                    )
-                )
+    scale = plan.scale
+    sampled_edges = plan.sampled_edges
+    degrees = plan.degrees
+    n_threads = plan.n_threads
 
-        # Label gathers: scattered by destination id; one per step in both
-        # modes (SMP prefetches topology, not labels).
-        steps = ragged_arange(degrees)
-        edge_thread = np.repeat(thread_ids, degrees)
-        keys = coalescing.strided_group_keys(edge_thread, steps, warp_size)
-        streams.append(
-            coalescing.coalesce(
-                label_array.addresses_of(np.asarray(neighbor_ids, dtype=np.int64)),
-                keys,
-                spec.sector_bytes,
-            )
-        )
-
-    # Idle threads (Tigr): one coalesced activity-flag word each.
-    if idle_threads:
-        idle_ids = np.arange(idle_threads, dtype=np.int64)
-        streams.append(
-            coalescing.contiguous_run_sectors(
-                label_array.base_address + idle_ids * 4,
-                np.full(idle_threads, 4, dtype=np.int64),
-                coalescing.burst_group_keys(idle_ids) + (1 << 20),
-                spec.sector_bytes,
-            )
-        )
-
-    stream = np.concatenate(streams) if streams else np.empty(0, dtype=np.int64)
-    hier = caches.access(stream)
-    load_transactions = len(stream) * scale
+    # The cache hierarchy is stateful across launches, so the stream is
+    # replayed through it even when the plan itself was memoized.
+    hier = caches.access(plan.stream)
+    load_transactions = len(plan.stream) * scale
     hier_scaled = _ScaledHierarchyResult(
         accesses=hier.accesses * scale,
         unified_hits=hier.unified_hits * scale,
@@ -382,10 +315,14 @@ def simulate_vertex_kernel(
     dram_write_bytes = updates * spec.sector_bytes
     shared_load_bytes = float(sampled_edges) * scale * 4.0 if smp else 0.0
 
+    # Launched thread/warp counts are exact — warp sampling bounds the
+    # *trace*, not the launch, so rescaling sampled counts by the
+    # edge-based ``scale`` would misreport them whenever kept warps have
+    # skewed degrees.  The plan keeps the pre-sampling counts.
     return _finalize(
         spec,
-        threads=(n_threads * scale) + idle_threads,
-        warps=n_warps * scale + (-(-idle_threads // warp_size)),
+        threads=plan.threads_full + idle_threads,
+        warps=plan.warps_full + (-(-idle_threads // warp_size)),
         instructions=instructions,
         sm_cycles_max=sm_cycles_max,
         hier_result=hier_scaled,

@@ -1,0 +1,28 @@
+"""Wall-clock performance harness for the simulator itself.
+
+Everything else in this repository measures *simulated* GPU time; this
+package measures how fast the **simulator** runs on the host — the
+metric the ROADMAP's "as fast as the hardware allows" goal is gated on.
+:func:`repro.perf.harness.run_perf` drives a serving-style BFS workload
+(one topology-resident :class:`~repro.core.session.EngineSession` per
+canonical graph, a batch of repeated sources) and reports
+
+* ``wall_edges_per_sec`` — simulated edges traced per wall second,
+* ``wall_launches_per_sec`` — kernel-model launches per wall second,
+* ``wall_cache_accesses_per_sec`` — cache-model sector accesses per
+  wall second,
+* ``wall_ms_per_query`` — end-to-end wall clock per traversal query,
+
+alongside the deterministic workload invariants (edges traced, launches,
+iterations, memo hit/miss counts) that pin the workload itself.
+
+``python -m repro.bench perf`` (or ``python -m repro.perf``) runs the
+harness and writes ``BENCH_PR3.json``; ``python -m repro.bench compare``
+gates the ``wall_*`` metrics with a direction-aware, generous tolerance
+(see :mod:`repro.bench.compare`) so CI fails only on gross wall-clock
+regressions while the deterministic leaves stay tightly pinned.
+"""
+
+from repro.perf.harness import CANONICAL_GRAPHS, PerfSettings, run_perf
+
+__all__ = ["CANONICAL_GRAPHS", "PerfSettings", "run_perf"]

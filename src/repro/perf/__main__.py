@@ -1,0 +1,6 @@
+"""``python -m repro.perf`` — alias for ``python -m repro.bench perf``."""
+
+from repro.perf.harness import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

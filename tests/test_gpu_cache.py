@@ -148,3 +148,100 @@ class TestHierarchy:
         h.reset()
         r = h.access(np.array([1]))
         assert r.unified_hits == 0
+
+
+# ----------------------------------------------------------------------
+# Adversarial streams: batch-split invariance and agreement with the
+# exact LRU oracle (PR 3's fast stable-order path must not change either)
+# ----------------------------------------------------------------------
+
+def _duplicate_heavy_stream(rng, n, n_sectors):
+    """A stream dominated by repeats: a few hot sectors plus noise."""
+    hot = rng.integers(0, max(n_sectors // 16, 1), size=n)
+    cold = rng.integers(0, n_sectors, size=n)
+    take_hot = rng.random(n) < 0.7
+    return np.where(take_hot, hot, cold).astype(np.int64)
+
+
+class TestBatchSplitInvariance:
+    """One access() call vs the same stream cut into arbitrary batches:
+    the persistent last-access table must hand reuse across the cut."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_split_anywhere_same_hits(self, seed):
+        rng = np.random.default_rng(seed)
+        stream = _duplicate_heavy_stream(rng, 600, 300)
+        whole = ReuseWindowCache(window=64)
+        hits_whole = whole.access(stream)
+        cuts = sorted(rng.integers(1, len(stream), size=3))
+        split = ReuseWindowCache(window=64)
+        parts = np.split(stream, cuts)
+        hits_split = np.concatenate([split.access(p) for p in parts])
+        assert np.array_equal(hits_whole, hits_split)
+        assert whole.hits == split.hits
+
+    def test_cross_batch_reuse_straddles_calls(self):
+        c = ReuseWindowCache(window=8)
+        assert list(c.access(np.array([7, 7, 3]))) == [False, True, False]
+        # 3 was last touched one access ago, 7 two accesses ago: both
+        # within the window even though the batch boundary intervened.
+        assert list(c.access(np.array([3, 7]))) == [True, True]
+
+    @given(st.lists(st.integers(0, 40), min_size=1, max_size=120),
+           st.integers(1, 119))
+    @settings(max_examples=50, deadline=None)
+    def test_property_split_invariance(self, values, cut):
+        stream = np.array(values, dtype=np.int64)
+        cut = min(cut, len(stream))
+        a, b = ReuseWindowCache(16), ReuseWindowCache(16)
+        whole = a.access(stream)
+        split = np.concatenate([b.access(stream[:cut]),
+                                b.access(stream[cut:])])
+        assert np.array_equal(whole, split)
+
+
+class TestReuseWindowVsExactLRU:
+    """Reuse distance *in accesses* upper-bounds LRU stack distance, so
+    with window == line count every reuse-window hit must also hit in a
+    fully-associative exact LRU of the same capacity — including across
+    access() boundaries and under heavy duplication."""
+
+    def _agree(self, stream, lines, batches=1):
+        rw = ReuseWindowCache(window=lines)
+        lru = ExactLRUCache(
+            capacity_bytes=lines * 32, line_bytes=32, ways=lines
+        )
+        rw_hits = []
+        lru_hits = []
+        for part in np.array_split(stream, batches):
+            if len(part) == 0:
+                continue
+            rw_hits.append(rw.access(part))
+            lru_hits.append(lru.access(part))
+        rw_hits = np.concatenate(rw_hits)
+        lru_hits = np.concatenate(lru_hits)
+        # Containment: reuse-window is a conservative LRU.
+        assert not np.any(rw_hits & ~lru_hits)
+        return rw_hits, lru_hits
+
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("batches", [1, 7])
+    def test_hits_contained_in_exact_lru(self, seed, batches):
+        rng = np.random.default_rng(seed)
+        stream = _duplicate_heavy_stream(rng, 800, 500)
+        self._agree(stream, lines=64, batches=batches)
+
+    def test_exact_agreement_on_distinct_line_streams(self):
+        # When every access in the window touches a distinct line the
+        # reuse distance equals the stack distance: the models coincide.
+        stream = np.concatenate([np.arange(32), np.arange(32)])
+        rw_hits, lru_hits = self._agree(stream, lines=64)
+        assert np.array_equal(rw_hits, lru_hits)
+        assert list(rw_hits[:32]) == [False] * 32
+        assert list(rw_hits[32:]) == [True] * 32
+
+    def test_duplicate_heavy_single_sector(self):
+        stream = np.zeros(100, dtype=np.int64)
+        rw_hits, lru_hits = self._agree(stream, lines=8, batches=5)
+        assert np.array_equal(rw_hits, lru_hits)
+        assert rw_hits.sum() == 99

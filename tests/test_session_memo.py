@@ -1,0 +1,116 @@
+"""Tests for the session-level frontier memo: bit-identity with the memo
+on or off, hit/miss accounting, boundedness, and entry reuse."""
+
+import numpy as np
+import pytest
+
+from repro import EngineSession, EtaGraphConfig
+from repro.graph import generators
+from repro.graph.weights import attach_weights
+
+
+@pytest.fixture(scope="module")
+def social():
+    return attach_weights(generators.rmat(9, 6000, seed=41), seed=42)
+
+
+def _result_signature(r):
+    return (
+        r.labels.tobytes(),
+        r.total_ms.hex(),
+        r.kernel_ms.hex(),
+        r.profiler.kernels.unified_cache_hits,
+        r.profiler.kernels.l2_hits,
+        r.profiler.kernels.threads,
+        r.iterations,
+    )
+
+
+class TestMemoBitIdentity:
+    @pytest.mark.parametrize("problem", ["bfs", "sssp"])
+    def test_memo_on_equals_memo_off(self, social, problem):
+        """The memo caches only label-independent values, so every
+        query's labels, simulated timings and counters must be
+        bit-identical with memoization disabled."""
+        sources = [0, 5, 0, 5, 9, 0]
+        with EngineSession(social, EtaGraphConfig()) as on, \
+                EngineSession(
+                    social, EtaGraphConfig(frontier_memo_entries=0)
+                ) as off:
+            for s in sources:
+                r_on = on.query(problem, s)
+                r_off = off.query(problem, s)
+                assert _result_signature(r_on) == _result_signature(r_off)
+            assert on.memo_hits > 0
+            assert off.memo_hits == 0 and off.memo_misses == 0
+
+    def test_track_parents_with_memo(self, social):
+        cfg = EtaGraphConfig(track_parents=True)
+        with EngineSession(social, cfg) as on, \
+                EngineSession(
+                    social,
+                    EtaGraphConfig(track_parents=True,
+                                   frontier_memo_entries=0),
+                ) as off:
+            for s in (3, 3, 3):
+                p_on = on.query("bfs", s).extras["parents"]
+                p_off = off.query("bfs", s).extras["parents"]
+                assert np.array_equal(p_on, p_off)
+            assert on.memo_hits > 0
+
+    def test_out_of_core_udc_with_memo(self, social):
+        cfg = EtaGraphConfig(udc_mode="out_of_core")
+        with EngineSession(social, cfg) as on, \
+                EngineSession(
+                    social,
+                    EtaGraphConfig(udc_mode="out_of_core",
+                                   frontier_memo_entries=0),
+                ) as off:
+            for s in (1, 1):
+                assert _result_signature(on.query("bfs", s)) == \
+                    _result_signature(off.query("bfs", s))
+            assert on.memo_hits > 0
+
+
+class TestMemoAccounting:
+    def test_repeated_source_hits(self, social):
+        with EngineSession(social) as ses:
+            ses.query("bfs", 4)
+            misses_first = ses.memo_misses
+            assert ses.memo_hits == 0
+            r = ses.query("bfs", 4)
+            # An identical query replays identical frontiers: every
+            # iteration after the repeat hits.
+            assert ses.memo_hits == misses_first == r.iterations
+            assert ses.memo_misses == misses_first
+
+    def test_memo_bounded(self, social):
+        cfg = EtaGraphConfig(frontier_memo_entries=3)
+        with EngineSession(social, cfg) as ses:
+            for s in range(6):
+                ses.query("bfs", s)
+            assert ses.memo_entries <= 3
+
+    def test_memo_bytes_tracks_entries(self, social):
+        with EngineSession(social) as ses:
+            assert ses.memo_bytes == 0
+            ses.query("bfs", 0)
+            assert ses.memo_entries > 0
+            assert ses.memo_bytes > 0
+
+    def test_mixed_problems_do_not_collide(self, social):
+        """BFS (int32 labels, no weights) and SSSP (float labels,
+        weights) frontiers may share content; their memo entries must
+        stay distinct and the results exact."""
+        from repro.core.engine import EtaGraphEngine
+
+        with EngineSession(social) as ses:
+            b1 = ses.query("bfs", 2)
+            s1 = ses.query("sssp", 2)
+            b2 = ses.query("bfs", 2)
+            s2 = ses.query("sssp", 2)
+        assert np.array_equal(b1.labels, b2.labels)
+        assert np.array_equal(s1.labels, s2.labels)
+        engine = EtaGraphEngine(social, EtaGraphConfig())
+        assert np.array_equal(engine.run("bfs", 2).labels, b1.labels)
+        assert np.array_equal(engine.run("sssp", 2).labels, s1.labels)
