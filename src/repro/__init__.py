@@ -8,7 +8,9 @@ Public surface:
 * :mod:`repro.graph` — CSR & friends, generators, datasets,
 * :mod:`repro.gpu` — the GPU execution-model simulator,
 * :mod:`repro.baselines` — CuSha / Gunrock / Tigr analogues,
-* :mod:`repro.bench` — the table/figure reproduction harness.
+* :mod:`repro.bench` — the table/figure reproduction harness,
+* :class:`repro.ResilientSession` — the hardened serving wrapper
+  (retry, budgets, graceful degradation; see ``docs/resilience.md``).
 """
 
 from repro.core.api import EtaGraph, bfs, sssp, sswp
@@ -17,6 +19,7 @@ from repro.core.engine import TraversalResult
 from repro.core.session import EngineSession
 from repro.graph.csr import CSRGraph
 from repro.gpu.device import DeviceSpec, GTX_1080TI
+from repro.resilience import FaultPlan, ResilientSession, RetryPolicy
 
 __version__ = "0.1.0"
 
@@ -32,5 +35,8 @@ __all__ = [
     "CSRGraph",
     "DeviceSpec",
     "GTX_1080TI",
+    "FaultPlan",
+    "ResilientSession",
+    "RetryPolicy",
     "__version__",
 ]

@@ -16,7 +16,13 @@ Shapes that must hold (Section VI-C):
 
 from __future__ import annotations
 
-from repro.bench.runner import BenchContext, CellResult, ExperimentReport, run_cell
+from repro.bench.runner import (
+    BenchContext,
+    CellResult,
+    ExperimentReport,
+    error_taxonomy,
+    run_cell,
+)
 from repro.bench import workloads
 from repro.bench.reporting import grid_table
 
@@ -45,5 +51,11 @@ def run(quick: bool = False, ctx: BenchContext | None = None) -> ExperimentRepor
         experiment="table3",
         title="Performance comparison",
         text="\n\n".join(sections),
-        data={"cells": cells, "datasets": names},
+        data={
+            "cells": cells,
+            "datasets": names,
+            "error_taxonomy": error_taxonomy(
+                cell for grid in cells.values() for cell in grid.values()
+            ),
+        },
     )

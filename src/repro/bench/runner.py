@@ -26,7 +26,7 @@ from repro.baselines import get_framework
 from repro.bench import workloads
 from repro.core.api import EtaGraph
 from repro.core.config import EtaGraphConfig, MemoryMode
-from repro.errors import ConfigError, DeviceOutOfMemoryError
+from repro.errors import ConfigError, DeviceOutOfMemoryError, ReproError
 from repro.graph import datasets
 from repro.gpu.device import DeviceSpec
 
@@ -39,6 +39,10 @@ class CellResult:
     algorithm: str
     dataset: str
     oom: bool = False
+    #: Name of the non-OOM ``ReproError`` type that killed the run, if
+    #: any.  Only typed errors land here — anything else propagates, so
+    #: fault-injected bench runs can't silently swallow real bugs.
+    error: str | None = None
     kernel_ms: float = float("nan")
     total_ms: float = float("nan")
     iterations: int = 0
@@ -47,9 +51,12 @@ class CellResult:
 
     def cell_text(self, etagraph_style: bool = False) -> str:
         """Render like the paper: ``t_kernel/t_total`` for baselines,
-        a single total for EtaGraph variants, ``O.O.M`` on exhaustion."""
+        a single total for EtaGraph variants, ``O.O.M`` on exhaustion,
+        ``ERR:<Type>`` for any other typed failure."""
         if self.oom:
             return "O.O.M"
+        if self.error is not None:
+            return f"ERR:{self.error}"
         if etagraph_style:
             return f"{self.total_ms:.3f}"
         return f"{self.kernel_ms:.3f}/{self.total_ms:.3f}"
@@ -102,13 +109,19 @@ def run_cell(
     *,
     keep_labels: bool = False,
 ) -> CellResult:
-    """Execute one grid cell; OOM becomes a marked cell, not an error."""
+    """Execute one grid cell; OOM becomes a marked cell, and any other
+    typed ``ReproError`` becomes an ``ERR:<Type>`` cell.  Untyped
+    exceptions propagate — a bench run must never mask a real bug."""
     weighted = algorithm in ("sssp", "sswp")
     csr, source = ctx.load(dataset, weighted)
     cell = CellResult(framework=framework, algorithm=algorithm, dataset=dataset)
+    # Resolve the framework/config before entering the guarded region: an
+    # unknown variant is a caller bug and must raise, not become a cell.
+    is_etagraph = framework.startswith("etagraph")
+    cfg = _etagraph_config(framework) if is_etagraph else None
+    fw = None if is_etagraph else get_framework(framework, ctx.device)
     try:
-        if framework.startswith("etagraph"):
-            cfg = _etagraph_config(framework)
+        if is_etagraph:
             result = EtaGraph(csr, cfg, ctx.device).run(algorithm, source)
             cell.kernel_ms = result.kernel_ms
             cell.total_ms = result.total_ms
@@ -122,7 +135,6 @@ def run_cell(
             if keep_labels:
                 cell.labels = result.labels
         else:
-            fw = get_framework(framework, ctx.device)
             result = fw.run(csr, algorithm, source)
             cell.kernel_ms = result.kernel_ms
             cell.total_ms = result.total_ms
@@ -132,7 +144,24 @@ def run_cell(
                 cell.labels = result.labels
     except DeviceOutOfMemoryError:
         cell.oom = True
+    except ReproError as exc:
+        cell.error = type(exc).__name__
     return cell
+
+
+def error_taxonomy(cells) -> dict:
+    """Count an iterable of :class:`CellResult` by outcome, mirroring how
+    the paper tabulates O.O.M: ``{"ok": n, "oom": n, "errors": {type: n}}``."""
+    taxonomy: dict = {"ok": 0, "oom": 0, "errors": {}}
+    for cell in cells:
+        if cell.oom:
+            taxonomy["oom"] += 1
+        elif cell.error is not None:
+            taxonomy["errors"][cell.error] = \
+                taxonomy["errors"].get(cell.error, 0) + 1
+        else:
+            taxonomy["ok"] += 1
+    return taxonomy
 
 
 # ----------------------------------------------------------------------

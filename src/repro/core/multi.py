@@ -22,7 +22,7 @@ import numpy as np
 from repro.core.config import EtaGraphConfig
 from repro.core.engine import TraversalResult
 from repro.core.session import EngineSession
-from repro.errors import ConfigError
+from repro.errors import ConfigError, SessionClosedError
 from repro.gpu.device import DeviceSpec, GTX_1080TI
 from repro.graph.csr import CSRGraph
 
@@ -85,6 +85,8 @@ def run_batch(
     own_session = session is None
     if own_session:
         session = EngineSession(csr, config or EtaGraphConfig(), device)
+    elif session.closed:
+        raise SessionClosedError("cannot run a batch on a closed session")
     elif session.csr is not csr:
         raise ConfigError("session is bound to a different graph")
 

@@ -40,7 +40,12 @@ from repro.core.frontier import FrontierBuffers
 from repro.core.smp import plan_prefetch
 from repro.core.stats import IterationStats, TraversalStats
 from repro.core.udc import degree_cut
-from repro.errors import ConvergenceError, InvalidLaunchError
+from repro.errors import (
+    ConfigError,
+    ConvergenceError,
+    InvalidLaunchError,
+    SessionClosedError,
+)
 from repro.gpu.cache import CacheHierarchy
 from repro.gpu.device import DeviceSpec, GTX_1080TI
 from repro.gpu import kernel as gpukernel
@@ -120,17 +125,29 @@ class EngineSession:
         csr: CSRGraph,
         config: EtaGraphConfig | None = None,
         device: DeviceSpec = GTX_1080TI,
+        *,
+        injector=None,
     ):
         self.csr = csr
         self.config = config or EtaGraphConfig()
         self.device = device
 
+        #: Optional :class:`repro.resilience.faults.FaultInjector`.  When
+        #: set, it is consulted at every device touchpoint (allocation,
+        #: PCIe copy, UM migration, kernel launch, memo lookup) and may
+        #: raise typed faults on its schedule.  ``None`` (the default) is
+        #: a guaranteed no-op: results and timings are bit-identical to a
+        #: session built without the parameter.
+        self.injector = injector
         self.memory = DeviceMemory(device)
+        self.memory.injector = injector
         self.caches = CacheHierarchy(device)
         self.um = (
             UnifiedMemoryManager(device, self.memory)
             if self.config.memory_mode.uses_um else None
         )
+        if self.um is not None:
+            self.um.injector = injector
 
         #: Measured topology-placement time (ms) paid so far: UM page
         #: registration, zero-copy pinning, H2D topology copies, prefetch
@@ -251,7 +268,7 @@ class EngineSession:
         else:
             # cudaMemcpy of the whole topology before the first kernel.
             for arr in arrays:
-                t = h2d_copy(spec, prof, arr.nbytes)
+                t = h2d_copy(spec, prof, arr.nbytes, injector=self.injector)
                 timeline.add("transfer", clock, clock + t, nbytes=arr.nbytes,
                              label=arr.name)
                 clock += t
@@ -333,7 +350,8 @@ class EngineSession:
             "shadow_ranges", 2 * max(csr.num_vertices, 1), np.int32
         )
         t = h2d_copy(self.device, prof, (3 * len(shadow_table)
-                                         + 2 * csr.num_vertices) * 4)
+                                         + 2 * csr.num_vertices) * 4,
+                     injector=self.injector)
         timeline.add("transfer", clock, clock + t, label="shadow-table")
         clock += t
         self.setup_ms += t
@@ -398,9 +416,7 @@ class EngineSession:
 
     def _check_open(self) -> None:
         if self._closed:
-            from repro.errors import InvalidLaunchError
-
-            raise InvalidLaunchError("session is closed")
+            raise SessionClosedError("session is closed")
 
     # ------------------------------------------------------------------
     # Frontier memo
@@ -409,6 +425,13 @@ class EngineSession:
     @property
     def memo_entries(self) -> int:
         return len(self._frontier_memo)
+
+    def invalidate_memo(self) -> None:
+        """Drop every frontier-memo entry (subsequent lookups miss and
+        recompute).  Memoized values are label-independent, so results
+        are bit-identical before and after — this exists for operators
+        (bounding host memory) and for fault injection."""
+        self._frontier_memo.clear()
 
     @property
     def memo_bytes(self) -> int:
@@ -479,8 +502,6 @@ class EngineSession:
         problem.check_graph(self.csr)
         if target is not None:
             if problem.name != "bfs":
-                from repro.errors import ConfigError
-
                 raise ConfigError(
                     "early-exit target is only sound for BFS "
                     f"(got {problem.name})"
@@ -526,7 +547,7 @@ class EngineSession:
         frontier = self._frontier_buffers()
         parents_arr = self._parents_buffer()
         parents = parents_arr.data if parents_arr is not None else None
-        t = h2d_copy(spec, prof, labels_arr.nbytes)
+        t = h2d_copy(spec, prof, labels_arr.nbytes, injector=self.injector)
         timeline.add("transfer", clock, clock + t, nbytes=labels_arr.nbytes,
                      label="labels-init")
         clock += t
@@ -570,6 +591,8 @@ class EngineSession:
             # traffic and cost are paid every iteration either way.
             entry = key = None
             if cfg.frontier_memo_entries > 0:
+                if self.injector is not None:
+                    self.injector.on_memo_lookup(self)
                 key = self._memo_key(active, labels_arr, weights_arr)
                 entry = self._memo_get(key)
 
@@ -727,6 +750,11 @@ class EngineSession:
                     ),
                     trace_cap=gpukernel.TRACE_CAP,
                 )
+            if self.injector is not None:
+                # The ECC check point: an injected bit flip lands in the
+                # device labels and aborts the launch with a typed
+                # DataCorruptionError before results can be consumed.
+                self.injector.on_kernel_launch(labels)
             timing = simulate_vertex_kernel(
                 spec, caches,
                 starts=shadows.starts,
@@ -790,7 +818,8 @@ class EngineSession:
                 break
 
         total_ms = clock
-        d2h_ms = d2h_copy(spec, prof, labels_arr.nbytes)
+        d2h_ms = d2h_copy(spec, prof, labels_arr.nbytes,
+                          injector=self.injector)
         setup_this_call = self.setup_ms - setup_before
 
         result = TraversalResult(

@@ -2,7 +2,36 @@
 
 Every failure mode that the paper's evaluation observes (most notably the
 ``O.O.M`` entries of Table III) is surfaced as a typed exception so that the
-benchmark harness can report it the same way the paper does.
+benchmark harness can report it the same way the paper does, and so that
+the resilience layer (:mod:`repro.resilience`) can tell retryable faults
+from fatal ones.  The contract enforced by chaos-mode fuzzing is that a
+query either returns a *correct* result or raises one of these types —
+never a wrong answer, never a bare traceback.
+
+Taxonomy:
+
+======================== ============================ =======================
+exception                parent                       meaning
+======================== ============================ =======================
+``ReproError``           ``Exception``                base of everything
+``GraphFormatError``     ``ReproError``               malformed graph input
+``DatasetError``         ``ReproError``               surrogate dataset bad
+``ConfigError``          ``ReproError``               invalid configuration
+``ConvergenceError``     ``ReproError``               iteration budget blown
+``DeadlineExceededError``  ``ReproError``             per-query wall/iteration
+                                                      budget exhausted
+``InvariantViolation``   ``ReproError``               structural invariant broken
+``DeviceError``          ``ReproError``               base of simulated-GPU errors
+``DeviceOutOfMemoryError`` ``DeviceError``            ``cudaMalloc`` exhaustion
+``InvalidLaunchError``   ``DeviceError``              malformed kernel launch
+``SessionClosedError``   ``InvalidLaunchError``       use of a closed session
+``AllocationError``      ``DeviceError``              freed/foreign allocation
+``DataCorruptionError``  ``DeviceError``              detected (ECC-style)
+                                                      data corruption
+``TransientDeviceError`` ``DeviceError``              base of retryable faults
+``TransferError``        ``TransientDeviceError``     failed PCIe copy
+``MigrationStallError``  ``TransientDeviceError``     hung UM migration
+======================== ============================ =======================
 """
 
 from __future__ import annotations
@@ -46,8 +75,42 @@ class InvalidLaunchError(DeviceError):
     """Raised for malformed kernel launches (zero threads, oversized block...)."""
 
 
+class SessionClosedError(InvalidLaunchError):
+    """Raised when a query or preparation hits an already-closed
+    :class:`~repro.core.session.EngineSession` — the session's device
+    allocations have been released, so no further launches are possible."""
+
+
 class AllocationError(DeviceError):
     """Raised when using a freed or foreign allocation handle."""
+
+
+class DataCorruptionError(DeviceError):
+    """Detected (ECC-style) corruption of device-resident data.
+
+    The simulated analogue of ``cudaErrorECCUncorrectable``: the hardware
+    *detected* the corruption before the result could be consumed, so the
+    query aborts with this typed error rather than returning wrong labels.
+    Raised by the fault injector's label bit-flip fault; the query can be
+    retried from fresh labels.
+    """
+
+
+class TransientDeviceError(DeviceError):
+    """Base class for retryable device faults.
+
+    A :class:`~repro.resilience.ResilientSession` retries these with
+    backoff before descending its degradation ladder; anything else is
+    treated as permanent for the current placement.
+    """
+
+
+class TransferError(TransientDeviceError):
+    """A host<->device PCIe copy failed in flight (transient)."""
+
+
+class MigrationStallError(TransientDeviceError):
+    """A UM page migration stalled past the driver watchdog (transient)."""
 
 
 class ConfigError(ReproError):
@@ -56,6 +119,11 @@ class ConfigError(ReproError):
 
 class ConvergenceError(ReproError):
     """Raised when a traversal fails to converge within its iteration budget."""
+
+
+class DeadlineExceededError(ReproError):
+    """Raised when a query exhausts its per-query wall-clock or iteration
+    budget (:class:`repro.resilience.RetryPolicy`) before completing."""
 
 
 class InvariantViolation(ReproError):

@@ -77,6 +77,10 @@ class DeviceMemory:
         self._next_address = spec.page_bytes  # keep address 0 unused
         self._device_in_use = 0
         self._allocations: dict[int, DeviceArray] = {}
+        #: Optional :class:`repro.resilience.faults.FaultInjector`
+        #: consulted on every allocation request (may raise an injected
+        #: :class:`~repro.errors.DeviceOutOfMemoryError`).
+        self.injector = None
 
     # ------------------------------------------------------------------
     # Allocation
@@ -92,6 +96,10 @@ class DeviceMemory:
         if kind not in ("device", "um", "zerocopy"):
             raise ValueError(f"unknown allocation kind {kind!r}")
         array = np.ascontiguousarray(array)
+        if self.injector is not None:
+            self.injector.on_alloc(
+                name, array.nbytes, self._device_in_use, self.capacity
+            )
         if kind == "device":
             if self._device_in_use + array.nbytes > self.capacity:
                 raise DeviceOutOfMemoryError(

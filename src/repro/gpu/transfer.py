@@ -4,6 +4,12 @@ Used by the non-UM frameworks (CuSha, Gunrock, Tigr, and EtaGraph's
 "w/o UM" ablation): the whole graph is staged over PCIe before the first
 kernel, which is exactly the ``t_total - t_kernel`` gap Table III shows
 for the baselines.
+
+Both copy directions accept an optional
+:class:`repro.resilience.faults.FaultInjector`; an injected
+``transfer_fault`` raises :class:`~repro.errors.TransferError` *before*
+any time or bytes are recorded, modelling a copy that failed in flight
+and can be retried wholesale.
 """
 
 from __future__ import annotations
@@ -13,7 +19,12 @@ from repro.gpu.profiler import Profiler
 
 
 def h2d_copy(
-    spec: DeviceSpec, profiler: Profiler, nbytes: float, *, pinned: bool = False
+    spec: DeviceSpec,
+    profiler: Profiler,
+    nbytes: float,
+    *,
+    pinned: bool = False,
+    injector=None,
 ) -> float:
     """Host-to-device copy; returns elapsed ms and records it.
 
@@ -21,6 +32,8 @@ def h2d_copy(
     a pinned bounce buffer, modelled as a 50% bandwidth derate — typical
     for pageable vs pinned PCIe 3.0 throughput (~6 vs ~12 GB/s).
     """
+    if injector is not None:
+        injector.on_transfer("h2d", nbytes)
     bandwidth = spec.pcie_bandwidth_gbps * (1.0 if pinned else 0.5)
     time_ms = spec.pcie_latency_us * 1e-3 + spec.bytes_time_ms(nbytes, bandwidth)
     profiler.record_h2d(nbytes, time_ms)
@@ -28,9 +41,16 @@ def h2d_copy(
 
 
 def d2h_copy(
-    spec: DeviceSpec, profiler: Profiler, nbytes: float, *, pinned: bool = False
+    spec: DeviceSpec,
+    profiler: Profiler,
+    nbytes: float,
+    *,
+    pinned: bool = False,
+    injector=None,
 ) -> float:
     """Device-to-host copy; returns elapsed ms and records it."""
+    if injector is not None:
+        injector.on_transfer("d2h", nbytes)
     bandwidth = spec.pcie_bandwidth_gbps * (1.0 if pinned else 0.5)
     time_ms = spec.pcie_latency_us * 1e-3 + spec.bytes_time_ms(nbytes, bandwidth)
     profiler.record_d2h(nbytes, time_ms)

@@ -64,6 +64,16 @@ class UnifiedMemoryManager:
         self._states: dict[int, _PageState] = {}
         self._clock = 0
         self.total_resident_pages = 0
+        #: Optional :class:`repro.resilience.faults.FaultInjector`
+        #: consulted after every migration batch that moved bytes; it may
+        #: stretch the batch (stall) or raise
+        #: :class:`~repro.errors.MigrationStallError`.
+        self.injector = None
+
+    def _inject_stall(self, batch: MigrationBatch) -> MigrationBatch:
+        if self.injector is not None and batch.bytes_moved:
+            batch.time_ms += self.injector.on_um_migration(batch.bytes_moved)
+        return batch
 
     # ------------------------------------------------------------------
     # Registration
@@ -207,7 +217,7 @@ class UnifiedMemoryManager:
                     profiler.record_migration(nbytes, time_ms)
         state.resident[stay] = True
         self.total_resident_pages += len(stay)
-        return batch
+        return self._inject_stall(batch)
 
     def touch_byte_ranges(
         self,
@@ -268,7 +278,7 @@ class UnifiedMemoryManager:
                     profiler.record_migration(nbytes, time_ms)
         state.resident[stay] = True
         self.total_resident_pages += len(stay)
-        return batch
+        return self._inject_stall(batch)
 
     # ------------------------------------------------------------------
     # Introspection

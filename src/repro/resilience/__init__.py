@@ -1,0 +1,38 @@
+"""Fault injection and graceful degradation (``repro.resilience``).
+
+The serving-hardening layer: a deterministic, seeded fault-injection
+plane over the simulated GPU (:mod:`repro.resilience.faults`), a
+retry/degrade wrapper around engine sessions
+(:mod:`repro.resilience.session`) and a chaos-mode differential fuzzer
+(:mod:`repro.resilience.chaos`) that proves the combination never
+produces a wrong answer or an untyped exception.  See
+``docs/resilience.md`` for the tour.
+"""
+
+from repro.resilience.faults import (
+    FAULT_KINDS,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    STALL_WATCHDOG_MS,
+)
+from repro.resilience.session import (
+    LADDER,
+    Attempt,
+    ResilientSession,
+    RetryPolicy,
+    RunOutcome,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "STALL_WATCHDOG_MS",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "LADDER",
+    "Attempt",
+    "ResilientSession",
+    "RetryPolicy",
+    "RunOutcome",
+]

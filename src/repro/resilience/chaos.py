@@ -1,0 +1,242 @@
+"""Chaos-mode differential fuzzing: random faults, exact answers.
+
+Runs the differential fuzzer's random graphs and configurations through
+a :class:`~repro.resilience.session.ResilientSession` under random
+seeded :class:`~repro.resilience.faults.FaultPlan`\\ s, and asserts the
+resilience contract:
+
+    every query either returns labels **bit-identical to the CPU
+    oracle**, or raises a **typed** :class:`~repro.errors.ReproError` —
+    never a wrong answer, never a bare traceback.
+
+Everything derives from one sweep seed, so a failing plan prints the
+coordinates to replay it.  This is what ``python -m repro.testing
+--chaos`` runs, and what the ``chaos-smoke`` CI job gates on.
+
+:func:`check_bit_identity` is the other half of the contract: with *no*
+fault plan installed, ``ResilientSession`` must be an exact no-op
+wrapper — labels and simulated timings hash-identical to a bare
+``EngineSession`` on the same queries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import EtaGraphConfig
+from repro.core.session import EngineSession
+from repro.errors import ReproError
+from repro.graph.csr import CSRGraph
+from repro.resilience.faults import FaultPlan
+from repro.resilience.session import ResilientSession, RetryPolicy
+
+_PROBLEMS = ("bfs", "sssp", "sswp", "cc")
+
+
+@dataclass
+class ChaosReport:
+    """Aggregate outcome of one chaos sweep."""
+
+    seed: int
+    plans: int = 0
+    queries: int = 0
+    #: Queries that returned a (verified-correct) result.
+    ok_results: int = 0
+    #: Of those, how many were served from a lower rung than configured.
+    degraded: int = 0
+    #: Queries that ended in a typed ReproError, by exception type name.
+    typed_errors: dict = field(default_factory=dict)
+    #: Results by final ladder placement.
+    placements: dict = field(default_factory=dict)
+    #: Total injected faults observed firing.
+    faults_fired: int = 0
+    elapsed_s: float = 0.0
+    #: Contract violations: wrong labels or untyped exceptions, with the
+    #: plan coordinates needed to replay them.
+    failures: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        errors = ", ".join(
+            f"{k}={v}" for k, v in sorted(self.typed_errors.items())
+        ) or "none"
+        placements = ", ".join(
+            f"{k}={v}" for k, v in sorted(self.placements.items())
+        ) or "none"
+        head = (
+            f"chaos sweep (seed {self.seed}): {self.plans} fault plans, "
+            f"{self.queries} queries in {self.elapsed_s:.1f}s\n"
+            f"  correct results: {self.ok_results} "
+            f"({self.degraded} degraded; placements: {placements})\n"
+            f"  typed errors: {errors}\n"
+            f"  faults fired: {self.faults_fired}"
+        )
+        if self.ok:
+            return (
+                f"{head}\nresilience contract holds: every outcome was a "
+                "correct result or a typed ReproError"
+            )
+        lines = [f"{head}\n{len(self.failures)} CONTRACT VIOLATIONS:"]
+        lines += [f"  {f}" for f in self.failures]
+        return "\n".join(lines)
+
+
+def run_chaos(
+    *,
+    max_plans: int | None = None,
+    max_seconds: float | None = None,
+    seed: int = 0,
+    queries_per_plan: int = 2,
+    max_vertices: int = 64,
+    log=None,
+) -> ChaosReport:
+    """Sweep random fault plans until the plan or time budget runs out.
+
+    Each case draws a random graph, engine configuration, problem and
+    :class:`FaultPlan` from the case seed, serves ``queries_per_plan``
+    queries through one ``ResilientSession``, and verifies every
+    returned label vector bit-for-bit against the CPU oracle.  Typed
+    ``ReproError``\\ s are acceptable outcomes (counted, not failed);
+    anything else — a label mismatch or an untyped exception — is a
+    contract violation recorded with its replay coordinates.
+    """
+    # Imported here, not at module top: repro.testing imports the engine
+    # stack and the chaos CLI lives inside repro.testing's __main__.
+    from repro.testing.differential import diff_labels, oracle_labels
+    from repro.testing.fuzz import random_config, random_graph
+
+    if max_plans is None and max_seconds is None:
+        max_plans = 200
+    report = ChaosReport(seed=seed)
+    start = time.monotonic()
+
+    case = 0
+    while True:
+        if max_plans is not None and case >= max_plans:
+            break
+        if max_seconds is not None and \
+                time.monotonic() - start >= max_seconds:
+            break
+        rng = np.random.default_rng([seed, case])
+        problem = _PROBLEMS[case % len(_PROBLEMS)]
+        graph = random_graph(
+            rng, weighted=problem in ("sssp", "sswp"),
+            max_vertices=max_vertices,
+        )
+        config = random_config(rng)
+        plan = FaultPlan.random(rng)
+        # Vary the hardening policy too, so the sweep exercises the
+        # typed-error side of the contract (a persistent fault with the
+        # CPU oracle rung disabled must surface as a ReproError, not
+        # hang or escape untyped).
+        policy = RetryPolicy(
+            max_retries=int(rng.integers(0, 3)),
+            allow_cpu_fallback=bool(rng.integers(0, 4)),
+        )
+        coords = (
+            f"plan {case} (seed {seed}, {plan.describe()}, {problem}, "
+            f"|V|={graph.num_vertices} |E|={graph.num_edges}, "
+            f"memory={config.memory_mode.value}, "
+            f"retries={policy.max_retries}, "
+            f"cpu_fallback={policy.allow_cpu_fallback})"
+        )
+        report.plans += 1
+
+        with ResilientSession(
+            graph, config, fault_plan=plan, policy=policy,
+        ) as rs:
+            fired_total = 0
+            for q in range(queries_per_plan):
+                source = int(rng.integers(graph.num_vertices))
+                report.queries += 1
+                try:
+                    outcome = rs.run(problem, source)
+                except ReproError as exc:
+                    name = type(exc).__name__
+                    report.typed_errors[name] = \
+                        report.typed_errors.get(name, 0) + 1
+                    continue
+                except Exception as exc:  # noqa: BLE001 — the contract
+                    report.failures.append(
+                        f"{coords} query {q}: UNTYPED "
+                        f"{type(exc).__name__}: {exc}"
+                    )
+                    continue
+                diff = diff_labels(
+                    oracle_labels(graph, problem, source),
+                    outcome.labels, graph,
+                )
+                if diff is not None:
+                    report.failures.append(
+                        f"{coords} query {q} (source {source}, served from "
+                        f"{outcome.final_placement}): WRONG LABELS: {diff}"
+                    )
+                    continue
+                report.ok_results += 1
+                report.degraded += int(outcome.degraded)
+                report.placements[outcome.final_placement] = \
+                    report.placements.get(outcome.final_placement, 0) + 1
+            if rs.injector is not None:
+                fired_total = len(rs.injector.fired)
+            report.faults_fired += fired_total
+
+        case += 1
+        if log is not None and case % 25 == 0:
+            log(f"  ... {case} plans, {len(report.failures)} violations")
+
+    report.elapsed_s = time.monotonic() - start
+    return report
+
+
+# ----------------------------------------------------------------------
+# No-fault bit-identity (the other half of the contract)
+# ----------------------------------------------------------------------
+
+def result_digest(result) -> str:
+    """Stable hash of a traversal result's observable output: the exact
+    label bytes plus the simulated clock readings."""
+    h = hashlib.blake2b(digest_size=16)
+    h.update(np.ascontiguousarray(result.labels).tobytes())
+    h.update(
+        f"{result.total_ms:.9f}/{result.kernel_ms:.9f}/"
+        f"{result.transfer_ms:.9f}/{result.setup_ms:.9f}".encode()
+    )
+    return h.hexdigest()
+
+
+def check_bit_identity(
+    csr: CSRGraph,
+    problems: tuple[str, ...],
+    sources: tuple[int, ...],
+    config: EtaGraphConfig | None = None,
+) -> list[str]:
+    """Serve the same query stream through a bare ``EngineSession`` and a
+    no-fault ``ResilientSession``; return a description of every digest
+    mismatch (empty = bit-identical, the required result)."""
+    config = config or EtaGraphConfig()
+    mismatches = []
+    with EngineSession(csr, config) as plain, \
+            ResilientSession(csr, config) as resilient:
+        for problem in problems:
+            for source in sources:
+                expected = result_digest(plain.query(problem, source))
+                outcome = resilient.run(problem, source)
+                actual = result_digest(outcome.result)
+                if outcome.degraded or outcome.num_attempts != 1:
+                    mismatches.append(
+                        f"{problem}/src={source}: no-fault run was not "
+                        f"nominal: {outcome!r}"
+                    )
+                elif expected != actual:
+                    mismatches.append(
+                        f"{problem}/src={source}: digest {actual} != "
+                        f"plain-session digest {expected}"
+                    )
+    return mismatches

@@ -1,0 +1,249 @@
+"""Deterministic, seeded fault injection for the simulated GPU.
+
+The paper's evaluation treats failure as a first-class outcome — Table
+III's ``O.O.M`` cells are real allocation failures — and EMOGI makes the
+same point that out-of-memory traversal must *degrade*, not crash.  This
+module is the supply side of that story: a :class:`FaultPlan` schedules
+typed faults against the engine's device touchpoints, and a
+:class:`FaultInjector` fires them deterministically so any failure is
+replayable from its seed.
+
+Injection points (wired by :class:`~repro.core.session.EngineSession`
+when constructed with an injector):
+
+* ``alloc`` — :meth:`repro.gpu.memory.DeviceMemory.alloc` consults the
+  injector before admitting an allocation; an ``alloc_oom`` fault raises
+  :class:`~repro.errors.DeviceOutOfMemoryError` regardless of capacity.
+* ``transfer`` — :func:`repro.gpu.transfer.h2d_copy` /
+  :func:`~repro.gpu.transfer.d2h_copy` consult it per copy; a
+  ``transfer_fault`` raises :class:`~repro.errors.TransferError`
+  (transient — a retry succeeds once the scheduled fault is consumed).
+* ``um_migration`` — :class:`repro.gpu.um.UnifiedMemoryManager` consults
+  it after each migration batch; a ``um_stall`` fault adds its ``param``
+  milliseconds of stall to the batch (graceful, results unaffected), or
+  raises :class:`~repro.errors.MigrationStallError` when the stall
+  exceeds :data:`STALL_WATCHDOG_MS` (the driver watchdog fires).
+* ``kernel_launch`` — the session consults it before each traversal
+  kernel; a ``bitflip`` fault flips one bit of the device labels array
+  and raises :class:`~repro.errors.DataCorruptionError` (detected-ECC
+  semantics: the corruption never reaches the caller as a wrong answer).
+* ``memo_lookup`` — a ``memo_invalidate`` fault flushes the session's
+  frontier memo (results must be bit-identical with or without it).
+
+Every fired fault is appended to :attr:`FaultInjector.fired`, which the
+resilience layer copies into its :class:`~repro.resilience.session.
+RunOutcome` so an operator can see exactly what a degraded query survived.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import (
+    ConfigError,
+    DataCorruptionError,
+    DeviceOutOfMemoryError,
+    MigrationStallError,
+    TransferError,
+)
+
+#: Fault kinds a plan may schedule, keyed by the event stream they ride.
+FAULT_KINDS = (
+    "alloc_oom",        # alloc events
+    "transfer_fault",   # h2d/d2h copy events
+    "um_stall",         # UM migration-batch events
+    "bitflip",          # traversal kernel launches
+    "memo_invalidate",  # frontier-memo lookups
+)
+
+#: A ``um_stall`` whose ``param`` (milliseconds) reaches this threshold is
+#: treated as hung: the driver watchdog raises ``MigrationStallError``
+#: instead of just stretching the migration batch.
+STALL_WATCHDOG_MS = 1000.0
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault: fire on events ``[at, at + count)`` of ``kind``.
+
+    Event indices are 0-based and counted per kind over the injector's
+    whole lifetime (across retries and degradation rungs), which is what
+    makes a plan deterministic: the N-th allocation request always means
+    the N-th allocation request, whoever issues it.
+    """
+
+    kind: str
+    at: int
+    count: int = 1
+    #: Kind-specific knob: stall milliseconds for ``um_stall`` (values
+    #: >= :data:`STALL_WATCHDOG_MS` escalate to a watchdog error); unused
+    #: elsewhere.
+    param: float = 0.0
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ConfigError(f"unknown fault kind {self.kind!r}")
+        if self.at < 0 or self.count < 1:
+            raise ConfigError(
+                f"fault schedule must have at >= 0 and count >= 1, "
+                f"got at={self.at} count={self.count}"
+            )
+
+    def covers(self, event_index: int) -> bool:
+        return self.at <= event_index < self.at + self.count
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable, seed-replayable schedule of typed faults."""
+
+    specs: tuple[FaultSpec, ...] = ()
+    #: Seed for the injector's own randomness (bit positions of flips).
+    seed: int = 0
+
+    @classmethod
+    def random(
+        cls, rng: np.random.Generator | int, *, max_faults: int = 3
+    ) -> "FaultPlan":
+        """Draw a random plan: up to ``max_faults`` specs over all kinds.
+
+        Early event indices are favoured so small fuzz cases (a handful of
+        allocations and a dozen kernel launches) actually hit their
+        faults; ``count`` occasionally spans several events so retries
+        get exhausted and the degradation ladder is exercised.
+        """
+        if not isinstance(rng, np.random.Generator):
+            rng = np.random.default_rng(rng)
+        specs = []
+        for _ in range(int(rng.integers(0, max_faults + 1))):
+            kind = FAULT_KINDS[int(rng.integers(len(FAULT_KINDS)))]
+            param = 0.0
+            if kind == "um_stall":
+                param = float(
+                    rng.choice([5.0, 50.0, STALL_WATCHDOG_MS * 2])
+                )
+            specs.append(FaultSpec(
+                kind=kind,
+                at=int(rng.integers(0, 8)),
+                count=int(rng.choice([1, 1, 2, 4, 16])),
+                param=param,
+            ))
+        return cls(specs=tuple(specs), seed=int(rng.integers(2**31)))
+
+    def describe(self) -> str:
+        if not self.specs:
+            return f"FaultPlan(seed={self.seed}, no faults)"
+        parts = [
+            f"{s.kind}@{s.at}" + (f"x{s.count}" if s.count > 1 else "")
+            + (f"({s.param:g})" if s.param else "")
+            for s in self.specs
+        ]
+        return f"FaultPlan(seed={self.seed}, {', '.join(parts)})"
+
+
+class FaultInjector:
+    """Counts events per kind and fires the plan's faults on schedule.
+
+    One injector serves one :class:`~repro.resilience.session.
+    ResilientSession` (or one :class:`~repro.core.session.EngineSession`
+    in tests): its counters persist across query retries and degradation
+    rungs, so a consumed transient fault stays consumed — which is what
+    makes retry-after-fault converge.
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self._counts = {kind: 0 for kind in FAULT_KINDS}
+        self._rng = np.random.default_rng(plan.seed)
+        #: Human-readable record of every fault fired, in firing order.
+        self.fired: list[str] = []
+
+    # ------------------------------------------------------------------
+
+    def _next(self, kind: str) -> FaultSpec | None:
+        """Advance the event counter for ``kind``; return the spec that
+        covers this event, if any."""
+        index = self._counts[kind]
+        self._counts[kind] = index + 1
+        for spec in self.plan.specs:
+            if spec.kind == kind and spec.covers(index):
+                return spec
+        return None
+
+    def _record(self, kind: str, detail: str) -> None:
+        self.fired.append(f"{kind}: {detail}")
+
+    @property
+    def events(self) -> dict[str, int]:
+        """Events observed so far per kind (for tests and reports)."""
+        return dict(self._counts)
+
+    # ------------------------------------------------------------------
+    # Hook entry points (called from the wired components)
+    # ------------------------------------------------------------------
+
+    def on_alloc(
+        self, name: str, nbytes: int, in_use: int, capacity: int
+    ) -> None:
+        """DeviceMemory.alloc hook: may raise an injected OOM."""
+        if self._next("alloc_oom") is not None:
+            self._record("alloc_oom", f"{name} ({nbytes} B)")
+            raise DeviceOutOfMemoryError(nbytes, in_use, capacity)
+
+    def on_transfer(self, direction: str, nbytes: float) -> None:
+        """h2d/d2h copy hook: may raise an injected transient failure."""
+        if self._next("transfer_fault") is not None:
+            self._record("transfer_fault", f"{direction} ({int(nbytes)} B)")
+            raise TransferError(
+                f"injected {direction} failure after {int(nbytes)} B"
+            )
+
+    def on_um_migration(self, bytes_moved: int) -> float:
+        """UM migration hook: returns stall ms to add to the batch, or
+        raises when the stall trips the driver watchdog."""
+        spec = self._next("um_stall")
+        if spec is None:
+            return 0.0
+        if spec.param >= STALL_WATCHDOG_MS:
+            self._record("um_stall", f"watchdog ({bytes_moved} B)")
+            raise MigrationStallError(
+                f"injected migration stall past watchdog "
+                f"({spec.param:g} ms, {bytes_moved} B in flight)"
+            )
+        self._record("um_stall", f"{spec.param:g} ms ({bytes_moved} B)")
+        return float(spec.param)
+
+    def on_kernel_launch(self, labels: np.ndarray) -> None:
+        """Kernel-launch hook: a bitflip corrupts one label bit and is
+        immediately detected (ECC), aborting the query."""
+        if self._next("bitflip") is None:
+            return
+        if labels.size == 0:
+            return
+        vertex = int(self._rng.integers(labels.size))
+        bit = int(self._rng.integers(8 * labels.itemsize))
+        flat = labels.reshape(-1)
+        raw = flat[vertex : vertex + 1].view(np.uint8).copy()
+        raw[bit // 8] ^= np.uint8(1 << (bit % 8))
+        flat[vertex : vertex + 1] = raw.view(flat.dtype)
+        self._record("bitflip", f"vertex {vertex} bit {bit}")
+        raise DataCorruptionError(
+            f"ECC: detected bit flip in labels[{vertex}] (bit {bit})"
+        )
+
+    def on_memo_lookup(self, session) -> None:
+        """Frontier-memo hook: an injected invalidation flushes the memo
+        (a pure perf event — results must not change)."""
+        if self._next("memo_invalidate") is not None:
+            self._record(
+                "memo_invalidate", f"{session.memo_entries} entries dropped"
+            )
+            session.invalidate_memo()
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultInjector({self.plan.describe()}, "
+            f"{len(self.fired)} fired)"
+        )

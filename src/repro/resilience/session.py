@@ -1,0 +1,440 @@
+"""Hardened serving wrapper: retry, budgets and graceful degradation.
+
+:class:`ResilientSession` wraps :class:`~repro.core.session.EngineSession`
+with the failure semantics a serving deployment needs (the ROADMAP's
+north star), built on the paper's own observation that memory placement
+is a *ladder*, not a binary: Table III's baselines die with ``O.O.M``
+where EtaGraph's UM oversubscription survives, and EMOGI pushes the same
+idea one rung further (zero-copy access when even UM thrashes).  The
+ladder here:
+
+    device-resident -> UM prefetch -> UM oversubscribed (on-demand)
+        -> zero-copy -> CPU reference oracle
+
+A query enters at the rung matching its configured
+:class:`~repro.core.config.MemoryMode` and only ever moves *down*:
+
+* **transient faults** (:class:`~repro.errors.TransferError`,
+  :class:`~repro.errors.MigrationStallError`) and detected corruption
+  (:class:`~repro.errors.DataCorruptionError`) are retried on the same
+  rung with exponential backoff, then demote when retries are exhausted;
+* **out-of-memory** (:class:`~repro.errors.DeviceOutOfMemoryError`)
+  demotes immediately — and a *genuine* capacity OOM (requested bytes
+  really exceed free capacity) marks the rung dead for the session, so
+  later queries skip straight past it;
+* the **CPU oracle** rung cannot fault: it runs the exact serial
+  reference on the host, so a degraded-but-correct answer is always
+  available (labels are bit-identical to the GPU result by the
+  differential subsystem's guarantee).
+
+Every query returns a :class:`RunOutcome` recording each attempt, every
+injected fault observed, the final placement and whether the answer was
+served degraded.  With no fault plan installed the wrapper adds nothing:
+results (labels *and* simulated timings) are bit-identical to the same
+queries on a bare ``EngineSession``.
+
+All backoff time is *simulated* (recorded, never slept), consistent with
+the rest of the repo's clock; only :attr:`RetryPolicy.deadline_ms` reads
+the host wall clock, because it bounds real serving latency.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.algorithms.base import TraversalProblem, get_problem
+from repro.core.config import EtaGraphConfig, MemoryMode
+from repro.core.engine import TraversalResult
+from repro.core.session import EngineSession
+from repro.core.stats import TraversalStats
+from repro.errors import (
+    ConfigError,
+    ConvergenceError,
+    DataCorruptionError,
+    DeadlineExceededError,
+    DeviceOutOfMemoryError,
+    SessionClosedError,
+    TransientDeviceError,
+)
+from repro.gpu.device import DeviceSpec, GTX_1080TI
+from repro.gpu.profiler import Profiler
+from repro.gpu.timeline import Timeline
+from repro.graph.csr import CSRGraph
+from repro.resilience.faults import FaultInjector, FaultPlan
+
+#: The degradation ladder, best placement first.  ``um_oversubscribed``
+#: is UM with on-demand migration — the mode whose paging survives
+#: working sets beyond device capacity (the paper's uk-2006 case).
+LADDER: tuple[str, ...] = (
+    "device", "um_prefetch", "um_oversubscribed", "zero_copy", "cpu_oracle",
+)
+
+_RUNG_MODES: dict[str, MemoryMode] = {
+    "device": MemoryMode.DEVICE,
+    "um_prefetch": MemoryMode.UM_PREFETCH,
+    "um_oversubscribed": MemoryMode.UM_ON_DEMAND,
+    "zero_copy": MemoryMode.ZERO_COPY,
+}
+
+_MODE_RUNGS: dict[MemoryMode, str] = {
+    MemoryMode.DEVICE: "device",
+    MemoryMode.UM_PREFETCH: "um_prefetch",
+    MemoryMode.UM_ON_DEMAND: "um_oversubscribed",
+    MemoryMode.ZERO_COPY: "zero_copy",
+}
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Per-query failure-handling budget of a :class:`ResilientSession`."""
+
+    #: Retries per rung for transient faults / detected corruption (the
+    #: first try is not a retry: a rung gets ``1 + max_retries`` tries).
+    max_retries: int = 2
+    #: Simulated backoff before retry r: ``backoff_base_ms * 2**(r-1)``.
+    backoff_base_ms: float = 1.0
+    #: Host wall-clock budget per query (None = unbounded).  Checked
+    #: between attempts; tripping it raises ``DeadlineExceededError``.
+    deadline_ms: float | None = None
+    #: Per-query iteration budget (None = the config's own
+    #: ``max_iterations``).  Exhausting it raises
+    #: ``DeadlineExceededError`` instead of ``ConvergenceError``.
+    max_iterations: int | None = None
+    #: Whether the ladder's last rung (exact host traversal) is allowed.
+    allow_cpu_fallback: bool = True
+
+    def __post_init__(self):
+        if self.max_retries < 0:
+            raise ConfigError("max_retries must be >= 0")
+        if self.backoff_base_ms < 0:
+            raise ConfigError("backoff_base_ms must be >= 0")
+        if self.deadline_ms is not None and self.deadline_ms < 0:
+            raise ConfigError("deadline_ms must be >= 0")
+        if self.max_iterations is not None and self.max_iterations < 1:
+            raise ConfigError("max_iterations must be >= 1")
+
+
+@dataclass(frozen=True)
+class Attempt:
+    """One try of one query on one rung."""
+
+    rung: str
+    #: 1-based try number within the rung.
+    try_number: int
+    #: ``None`` on success, else ``"ErrorType: message"``.
+    error: str | None
+    #: Simulated backoff charged before the *next* try on this rung.
+    backoff_ms: float = 0.0
+
+
+@dataclass
+class RunOutcome:
+    """Everything that happened while serving one query."""
+
+    result: TraversalResult
+    attempts: list[Attempt] = field(default_factory=list)
+    #: Injector faults observed during this query, in firing order.
+    faults_seen: list[str] = field(default_factory=list)
+    #: Ladder rung that produced the result.
+    final_placement: str = ""
+    #: Rung the session's configuration asked for.
+    requested_placement: str = ""
+    #: True when the answer came from a lower rung than configured.
+    degraded: bool = False
+    #: Total simulated backoff charged across retries (ms).
+    backoff_ms: float = 0.0
+
+    @property
+    def num_attempts(self) -> int:
+        return len(self.attempts)
+
+    @property
+    def retried(self) -> bool:
+        return len(self.attempts) > 1
+
+    @property
+    def labels(self) -> np.ndarray:
+        return self.result.labels
+
+    def __repr__(self) -> str:
+        return (
+            f"RunOutcome({self.final_placement}, "
+            f"{self.num_attempts} attempts, "
+            f"{len(self.faults_seen)} faults, "
+            f"{'degraded' if self.degraded else 'nominal'})"
+        )
+
+
+class ResilientSession:
+    """An :class:`~repro.core.session.EngineSession` that degrades
+    instead of dying.
+
+    Use exactly like an engine session — plus every query also reports
+    *how* it was served::
+
+        with ResilientSession(graph) as rs:
+            outcome = rs.run("bfs", 0)
+            outcome.labels            # bit-exact labels
+            outcome.final_placement   # e.g. "um_prefetch"
+            outcome.degraded          # False on the happy path
+
+    ``fault_plan`` installs a deterministic
+    :class:`~repro.resilience.faults.FaultPlan` (chaos testing); without
+    one, results are bit-identical to a bare ``EngineSession``.
+    """
+
+    def __init__(
+        self,
+        csr: CSRGraph,
+        config: EtaGraphConfig | None = None,
+        device: DeviceSpec = GTX_1080TI,
+        *,
+        fault_plan: FaultPlan | None = None,
+        policy: RetryPolicy | None = None,
+    ):
+        self.csr = csr
+        self.config = config or EtaGraphConfig()
+        self.device = device
+        self.policy = policy or RetryPolicy()
+        self.injector = (
+            FaultInjector(fault_plan) if fault_plan is not None else None
+        )
+        #: Rungs proven to genuinely exceed device capacity this session;
+        #: later queries skip them instead of re-failing the allocation.
+        self.dead_rungs: set[str] = set()
+        #: Completed queries (same meaning as ``EngineSession.queries_served``).
+        self.queries_served = 0
+        self._sessions: dict[str, EngineSession] = {}
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        for session in self._sessions.values():
+            session.close()
+        self._sessions.clear()
+        self._closed = True
+
+    def __enter__(self) -> "ResilientSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else (
+            f"{self.queries_served} queries, "
+            f"rungs={sorted(self._sessions)}"
+        )
+        return f"ResilientSession({self.csr!r}, {state})"
+
+    # ------------------------------------------------------------------
+    # Ladder bookkeeping
+    # ------------------------------------------------------------------
+
+    @property
+    def entry_rung(self) -> str:
+        return _MODE_RUNGS[self.config.memory_mode]
+
+    def _rung_config(self, rung: str) -> EtaGraphConfig:
+        cfg = self.config
+        if self.policy.max_iterations is not None:
+            cfg = replace(cfg, max_iterations=self.policy.max_iterations)
+        if rung == self.entry_rung:
+            # The entry rung runs the caller's configuration untouched —
+            # this is what makes the no-fault path bit-identical.
+            return cfg
+        return replace(cfg, memory_mode=_RUNG_MODES[rung])
+
+    def _session_for(self, rung: str) -> EngineSession:
+        session = self._sessions.get(rung)
+        if session is None:
+            session = EngineSession(
+                self.csr, self._rung_config(rung), self.device,
+                injector=self.injector,
+            )
+            self._sessions[rung] = session
+        return session
+
+    def _discard(self, rung: str) -> None:
+        """Close and drop a rung's session (its placement state may be
+        partial after an aborted allocation)."""
+        session = self._sessions.pop(rung, None)
+        if session is not None:
+            session.close()
+
+    def _ladder_from(self, start: str) -> list[str]:
+        rungs = list(LADDER[LADDER.index(start):])
+        if not self.policy.allow_cpu_fallback:
+            rungs.remove("cpu_oracle")
+        return [r for r in rungs if r not in self.dead_rungs]
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        problem: TraversalProblem | str,
+        source: int,
+        *,
+        target: int | None = None,
+    ) -> RunOutcome:
+        """Serve one query through the retry/degradation machinery.
+
+        Returns a :class:`RunOutcome`; raises only typed
+        :class:`~repro.errors.ReproError` subclasses — a deadline or an
+        unservable ladder surfaces as an error, never as a wrong answer.
+        """
+        if self._closed:
+            raise SessionClosedError("resilient session is closed")
+        if isinstance(problem, str):
+            problem = get_problem(problem)
+
+        started = time.monotonic()
+        outcome = RunOutcome(
+            result=None,  # type: ignore[arg-type] — set before returning
+            requested_placement=self.entry_rung,
+        )
+        fired_before = len(self.injector.fired) if self.injector else 0
+        last_error: Exception | None = None
+
+        rungs = self._ladder_from(self.entry_rung)
+        if not rungs:
+            raise DeviceOutOfMemoryError(0, 0, self.device.memory_capacity)
+        for rung in rungs:
+            tries = 1 + self.policy.max_retries
+            for try_number in range(1, tries + 1):
+                self._check_deadline(started)
+                try:
+                    result = self._attempt(rung, problem, source, target)
+                except DeviceOutOfMemoryError as exc:
+                    # OOM is not retryable at this placement: demote.  A
+                    # genuine capacity failure also retires the rung for
+                    # the whole session.
+                    outcome.attempts.append(Attempt(
+                        rung=rung, try_number=try_number,
+                        error=f"{type(exc).__name__}: {exc}",
+                    ))
+                    last_error = exc
+                    self._discard(rung)
+                    if rung != "cpu_oracle" and \
+                            exc.requested + exc.in_use > exc.capacity:
+                        self.dead_rungs.add(rung)
+                    break
+                except (TransientDeviceError, DataCorruptionError) as exc:
+                    backoff = 0.0
+                    if try_number <= self.policy.max_retries:
+                        backoff = self.policy.backoff_base_ms * \
+                            2.0 ** (try_number - 1)
+                        outcome.backoff_ms += backoff
+                    outcome.attempts.append(Attempt(
+                        rung=rung, try_number=try_number,
+                        error=f"{type(exc).__name__}: {exc}",
+                        backoff_ms=backoff,
+                    ))
+                    last_error = exc
+                    continue  # retry this rung (or fall off to demote)
+                except ConvergenceError as exc:
+                    if self.policy.max_iterations is not None:
+                        raise DeadlineExceededError(
+                            f"query exceeded its iteration budget of "
+                            f"{self.policy.max_iterations}"
+                        ) from exc
+                    raise
+                outcome.attempts.append(Attempt(
+                    rung=rung, try_number=try_number, error=None,
+                ))
+                outcome.result = result
+                outcome.final_placement = rung
+                outcome.degraded = rung != outcome.requested_placement
+                if self.injector is not None:
+                    outcome.faults_seen = list(
+                        self.injector.fired[fired_before:]
+                    )
+                self.queries_served += 1
+                return outcome
+
+        # Every allowed rung failed; surface the last typed error.
+        assert last_error is not None
+        raise last_error
+
+    #: Drop-in :class:`~repro.core.session.EngineSession` compatibility:
+    #: same signature, returns the bare :class:`TraversalResult`.
+    def query(
+        self,
+        problem: TraversalProblem | str,
+        source: int,
+        *,
+        target: int | None = None,
+    ) -> TraversalResult:
+        return self.run(problem, source, target=target).result
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _check_deadline(self, started: float) -> None:
+        deadline = self.policy.deadline_ms
+        if deadline is None:
+            return
+        elapsed_ms = (time.monotonic() - started) * 1e3
+        if elapsed_ms >= deadline:
+            raise DeadlineExceededError(
+                f"query exceeded its {deadline:g} ms wall deadline "
+                f"({elapsed_ms:.1f} ms elapsed)"
+            )
+
+    def _attempt(
+        self,
+        rung: str,
+        problem: TraversalProblem,
+        source: int,
+        target: int | None,
+    ) -> TraversalResult:
+        if rung == "cpu_oracle":
+            return self._cpu_oracle_result(problem, source)
+        return self._session_for(rung).query(problem, source, target=target)
+
+    def _cpu_oracle_result(
+        self, problem: TraversalProblem, source: int
+    ) -> TraversalResult:
+        """The ladder's floor: exact serial traversal on the host.
+
+        No simulated device is involved, so no injected fault can reach
+        it.  ``total_ms`` is *host* wall time (there is no simulated
+        clock to report); kernel/transfer times are zero.
+        """
+        # Imported lazily: repro.testing.differential imports the engine.
+        from repro.testing.differential import oracle_labels
+
+        t0 = time.perf_counter()
+        labels = oracle_labels(self.csr, problem.name, source)
+        wall_ms = (time.perf_counter() - t0) * 1e3
+        n = self.csr.num_vertices
+        seeds = problem.initial_frontier(n, source)
+        return TraversalResult(
+            labels=labels,
+            source=source,
+            problem_name=problem.name,
+            total_ms=wall_ms,
+            kernel_ms=0.0,
+            transfer_ms=0.0,
+            d2h_ms=0.0,
+            stats=TraversalStats(num_vertices=n, seed_count=len(seeds)),
+            timeline=Timeline(),
+            profiler=Profiler(),
+            config=self._rung_config(self.entry_rung),
+            extras={"cpu_oracle": True, "early_exit": False},
+        )

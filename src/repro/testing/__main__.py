@@ -6,9 +6,18 @@ Usage::
     python -m repro.testing --cases 250 --seed 7
     python -m repro.testing --fuzz-seconds 30   # time-budgeted smoke run
     python -m repro.testing --problems bfs cc --baselines gunrock tigr
+    python -m repro.testing --chaos --plans 200 # fault-injection fuzzing
+    python -m repro.testing --chaos --duration 30
 
 Exit status 0 when every engine matched the CPU oracle and no invariant
 was violated; 1 otherwise, with per-case divergence context printed.
+
+``--chaos`` switches to the resilience sweep
+(:mod:`repro.resilience.chaos`): the same random graphs and
+configurations, served through a :class:`~repro.resilience.
+ResilientSession` under random seeded fault plans.  The pass criterion
+becomes the resilience contract — every outcome is a correct result or a
+typed ``ReproError``.
 """
 
 from __future__ import annotations
@@ -25,7 +34,8 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro.testing",
         description="Differential/metamorphic fuzz sweep: random graphs "
                     "and configurations through EtaGraph, every baseline "
-                    "and the CPU oracle.",
+                    "and the CPU oracle.  --chaos adds seeded fault "
+                    "injection and checks graceful degradation instead.",
     )
     parser.add_argument("--cases", type=int, default=None,
                         help="number of differential cases (default 100 "
@@ -43,6 +53,14 @@ def build_parser() -> argparse.ArgumentParser:
                         help="baseline frameworks to include")
     parser.add_argument("--no-metamorphic", action="store_true",
                         help="skip the metamorphic checks")
+    parser.add_argument("--chaos", action="store_true",
+                        help="fuzz under random seeded fault plans through "
+                             "ResilientSession (see docs/resilience.md)")
+    parser.add_argument("--plans", type=int, default=None,
+                        help="chaos mode: number of fault plans (default "
+                             "200 unless --duration is given)")
+    parser.add_argument("--duration", type=float, default=None,
+                        help="chaos mode: time budget in seconds")
     parser.add_argument("-q", "--quiet", action="store_true",
                         help="only print the final summary")
     return parser
@@ -51,6 +69,24 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     log = None if args.quiet else (lambda msg: print(msg, flush=True))
+
+    if args.chaos:
+        from repro.resilience.chaos import run_chaos
+
+        if log:
+            budget = (f"{args.duration:g}s" if args.duration is not None
+                      else f"{args.plans or 200} plans")
+            log(f"chaos fuzzing under seeded fault plans ({budget}, "
+                f"seed {args.seed})")
+        report = run_chaos(
+            max_plans=args.plans,
+            max_seconds=args.duration,
+            seed=args.seed,
+            log=log,
+        )
+        print(report.summary())
+        return 0 if report.ok else 1
+
     if log:
         budget = (f"{args.fuzz_seconds:g}s"
                   if args.fuzz_seconds is not None

@@ -1,0 +1,110 @@
+"""Attribute fidelity and typed-raise coverage for existing error paths."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.multi import run_batch
+from repro.core.session import EngineSession
+from repro.errors import (
+    DeviceOutOfMemoryError,
+    GraphFormatError,
+    InvalidLaunchError,
+    ReproError,
+    SessionClosedError,
+)
+from repro.gpu.device import GTX_1080TI
+from repro.gpu.memory import DeviceMemory
+from repro.graph import io
+from repro.utils.units import KIB, MIB
+
+
+class TestDeviceOutOfMemoryAttributes:
+    def test_attributes_reflect_the_failing_request(self):
+        memory = DeviceMemory(GTX_1080TI.with_capacity(1 * MIB))
+        held = memory.alloc("held", np.zeros(256 * KIB, dtype=np.uint8))
+        with pytest.raises(DeviceOutOfMemoryError) as exc:
+            memory.alloc("big", np.zeros(900 * KIB, dtype=np.uint8))
+        assert exc.value.requested == 900 * KIB
+        assert exc.value.in_use == held.nbytes == 256 * KIB
+        assert exc.value.capacity == 1 * MIB
+        # The message carries the same numbers an operator needs.
+        message = str(exc.value)
+        assert "921600" in message or "900" in message
+
+    def test_is_a_typed_repro_error(self):
+        assert issubclass(DeviceOutOfMemoryError, ReproError)
+
+
+class TestClosedSession:
+    def test_every_public_method_raises_session_closed(self, tiny_graph):
+        session = EngineSession(tiny_graph)
+        session.query("bfs", 0)
+        session.close()
+        with pytest.raises(SessionClosedError):
+            session.prepare("bfs")
+        with pytest.raises(SessionClosedError):
+            session.query("bfs", 0)
+        with pytest.raises(SessionClosedError):
+            run_batch(tiny_graph, [0, 1], "bfs", session=session)
+
+    def test_session_closed_is_an_invalid_launch(self, tiny_graph):
+        # Callers that caught InvalidLaunchError before the subtype
+        # existed keep working.
+        session = EngineSession(tiny_graph)
+        session.close()
+        with pytest.raises(InvalidLaunchError):
+            session.query("bfs", 0)
+
+
+class TestGraphFormatErrors:
+    def test_truncated_binary_header(self, tmp_path):
+        path = tmp_path / "g.gr"
+        path.write_bytes(b"\x00" * 10)
+        with pytest.raises(GraphFormatError, match="truncated header"):
+            io.load_galois_binary(path)
+
+    def test_truncated_binary_body(self, tmp_path, tiny_graph):
+        path = tmp_path / "g.gr"
+        io.save_galois_binary(tiny_graph, path)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) - 8])
+        with pytest.raises(GraphFormatError, match="truncated body"):
+            io.load_galois_binary(path)
+
+    def test_bad_magic(self, tmp_path, tiny_graph):
+        path = tmp_path / "g.gr"
+        io.save_galois_binary(tiny_graph, path)
+        raw = bytearray(path.read_bytes())
+        raw[0] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        with pytest.raises(GraphFormatError, match="bad magic"):
+            io.load_galois_binary(path)
+
+    def test_unsupported_version(self, tmp_path, tiny_graph):
+        path = tmp_path / "g.gr"
+        io.save_galois_binary(tiny_graph, path)
+        raw = bytearray(path.read_bytes())
+        raw[4] = 0x7F  # version word
+        path.write_bytes(bytes(raw))
+        with pytest.raises(GraphFormatError, match="unsupported version"):
+            io.load_galois_binary(path)
+
+    def test_unparseable_matrix_market(self, tmp_path):
+        path = tmp_path / "g.mtx"
+        path.write_text("this is not a MatrixMarket file\n1 2 3\n")
+        with pytest.raises(GraphFormatError, match="unparseable"):
+            io.load_matrix_market(path)
+
+    def test_unparseable_edge_list(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\nnot numbers here\n")
+        with pytest.raises(GraphFormatError, match="unparseable"):
+            io.load_edgelist_text(path)
+
+    def test_load_any_dispatches_errors_too(self, tmp_path):
+        path = tmp_path / "g.gr"
+        path.write_bytes(b"nope")
+        with pytest.raises(GraphFormatError):
+            io.load_any(path)
