@@ -10,7 +10,9 @@ Public surface:
 * :mod:`repro.baselines` — CuSha / Gunrock / Tigr analogues,
 * :mod:`repro.bench` — the table/figure reproduction harness,
 * :class:`repro.ResilientSession` — the hardened serving wrapper
-  (retry, budgets, graceful degradation; see ``docs/resilience.md``).
+  (retry, budgets, graceful degradation; see ``docs/resilience.md``),
+* :class:`repro.Tracer` / :mod:`repro.observability` — opt-in telemetry
+  over the simulated timeline (see ``docs/observability.md``).
 """
 
 from repro.core.api import EtaGraph, bfs, sssp, sswp
@@ -19,6 +21,7 @@ from repro.core.engine import TraversalResult
 from repro.core.session import EngineSession
 from repro.graph.csr import CSRGraph
 from repro.gpu.device import DeviceSpec, GTX_1080TI
+from repro.observability import Tracer
 from repro.resilience import FaultPlan, ResilientSession, RetryPolicy
 
 __version__ = "0.1.0"
@@ -38,5 +41,6 @@ __all__ = [
     "FaultPlan",
     "ResilientSession",
     "RetryPolicy",
+    "Tracer",
     "__version__",
 ]

@@ -87,6 +87,11 @@ def main(argv: list[str] | None = None) -> int:
         "--json-dir", default=None,
         help="also save each report's data as JSON into this directory",
     )
+    parser.add_argument(
+        "--trace-dir", default=None,
+        help="record a Chrome trace-event file per EtaGraph cell into "
+        "this directory (including O.O.M/ERR cells)",
+    )
     args = parser.parse_args(argv)
 
     if args.experiment is None:
@@ -114,7 +119,9 @@ def main(argv: list[str] | None = None) -> int:
         out_dir = Path(args.json_dir)
         out_dir.mkdir(parents=True, exist_ok=True)
 
-    for run in run_experiments(names, quick=args.quick, jobs=args.jobs):
+    for run in run_experiments(
+        names, quick=args.quick, jobs=args.jobs, trace_dir=args.trace_dir,
+    ):
         print(run.text)
         print(f"[{run.name} completed in {run.elapsed_s:.1f}s]\n")
         if out_dir is not None:

@@ -76,10 +76,18 @@ class ExperimentReport:
 
 
 class BenchContext:
-    """Caches loaded datasets across experiments within one process."""
+    """Caches loaded datasets across experiments within one process.
 
-    def __init__(self, device: DeviceSpec | None = None):
+    ``trace_dir`` (optional) turns on per-cell telemetry for EtaGraph
+    cells: every cell writes a Chrome trace-event file there — including
+    cells that end in ``O.O.M``/``ERR:<Type>``, whose partial trace is
+    the diagnosis — and records its path in
+    ``cell.extras["trace_path"]``.
+    """
+
+    def __init__(self, device: DeviceSpec | None = None, trace_dir=None):
         self.device = device or workloads.bench_device()
+        self.trace_dir = trace_dir
         self._graphs: dict[tuple[str, bool], tuple] = {}
 
     def load(self, name: str, weighted: bool):
@@ -121,32 +129,77 @@ def run_cell(
     cfg = _etagraph_config(framework) if is_etagraph else None
     fw = None if is_etagraph else get_framework(framework, ctx.device)
     try:
-        if is_etagraph:
+        if is_etagraph and ctx.trace_dir is not None:
+            result = _run_traced_etagraph(
+                ctx, cell, csr, cfg, algorithm, source
+            )
+        elif is_etagraph:
             result = EtaGraph(csr, cfg, ctx.device).run(algorithm, source)
-            cell.kernel_ms = result.kernel_ms
-            cell.total_ms = result.total_ms
-            cell.iterations = result.iterations
-            cell.extras = {
-                "stats": result.stats,
-                "timeline": result.timeline,
-                "profiler": result.profiler,
-                "oversubscribed": result.oversubscribed,
-            }
-            if keep_labels:
-                cell.labels = result.labels
         else:
             result = fw.run(csr, algorithm, source)
-            cell.kernel_ms = result.kernel_ms
-            cell.total_ms = result.total_ms
-            cell.iterations = result.iterations
-            cell.extras = {"profiler": result.profiler}
-            if keep_labels:
-                cell.labels = result.labels
+        cell.kernel_ms = result.kernel_ms
+        cell.total_ms = result.total_ms
+        cell.iterations = result.iterations
+        if is_etagraph:
+            cell.extras.update(
+                stats=result.stats,
+                timeline=result.timeline,
+                profiler=result.profiler,
+                oversubscribed=result.oversubscribed,
+            )
+        else:
+            cell.extras.update(profiler=result.profiler)
+        if keep_labels:
+            cell.labels = result.labels
     except DeviceOutOfMemoryError:
         cell.oom = True
     except ReproError as exc:
         cell.error = type(exc).__name__
     return cell
+
+
+def _run_traced_etagraph(
+    ctx: BenchContext,
+    cell: CellResult,
+    csr,
+    cfg: EtaGraphConfig,
+    algorithm: str,
+    source: int,
+):
+    """One EtaGraph cell with telemetry: the engine session records into
+    an externally-owned tracer so the trace survives a typed failure, and
+    the Chrome trace file lands next to the cell either way (its path in
+    ``cell.extras["trace_path"]``).  ``EtaGraph.run`` is a session-of-one
+    over the same :class:`~repro.core.session.EngineSession` code path,
+    so timings and labels are bit-identical to the untraced cell."""
+    from pathlib import Path
+
+    from repro.core.session import EngineSession
+    from repro.observability.export import write_chrome_trace
+    from repro.observability.spans import Tracer
+
+    trace_dir = Path(ctx.trace_dir)
+    trace_dir.mkdir(parents=True, exist_ok=True)
+    path = trace_dir / f"{cell.framework}-{cell.algorithm}-{cell.dataset}.json"
+    tracer = Tracer()
+    try:
+        with EngineSession(csr, cfg, ctx.device) as session:
+            session.tracer = tracer
+            return session.query(algorithm, source)
+    except BaseException as exc:
+        # Close whatever the failure left open, then let run_cell's typed
+        # handling decide the cell's fate.
+        tracer.unwind(tracer.max_end_ms, error=type(exc).__name__)
+        raise
+    finally:
+        write_chrome_trace(
+            tracer.trace(
+                framework=cell.framework, algorithm=cell.algorithm,
+                dataset=cell.dataset, source=source,
+            ),
+            path,
+        )
+        cell.extras["trace_path"] = str(path)
 
 
 def error_taxonomy(cells) -> dict:
@@ -180,13 +233,16 @@ class ExperimentRun:
     elapsed_s: float
 
 
-def _run_one(name: str, quick: bool, ctx: "BenchContext | None") -> ExperimentRun:
+def _run_one(name: str, quick: bool, ctx: "BenchContext | None",
+             trace_dir=None) -> ExperimentRun:
     # Imported here: the experiment modules import this module.
     from repro.bench.experiments import ALL_EXPERIMENTS
     from repro.bench.export import report_to_dict
 
     t0 = time.time()
-    report = ALL_EXPERIMENTS[name](quick=quick, ctx=ctx or BenchContext())
+    report = ALL_EXPERIMENTS[name](
+        quick=quick, ctx=ctx or BenchContext(trace_dir=trace_dir)
+    )
     return ExperimentRun(
         name=name,
         text=report.text,
@@ -195,21 +251,24 @@ def _run_one(name: str, quick: bool, ctx: "BenchContext | None") -> ExperimentRu
     )
 
 
-def _run_one_job(args: tuple[str, bool]) -> ExperimentRun:
+def _run_one_job(args: tuple[str, bool, object]) -> ExperimentRun:
     """Process-pool entry point: fresh context per worker invocation."""
-    name, quick = args
-    return _run_one(name, quick, None)
+    name, quick, trace_dir = args
+    return _run_one(name, quick, None, trace_dir)
 
 
 def run_experiments(
-    names: list[str], *, quick: bool = False, jobs: int = 1
+    names: list[str], *, quick: bool = False, jobs: int = 1,
+    trace_dir=None,
 ):
     """Yield one :class:`ExperimentRun` per name, always in ``names``
     order.  ``jobs > 1`` fans the experiments out over a process pool
     (results still stream back in order); the report dicts are identical
-    to what a serial run produces."""
+    to what a serial run produces.  ``trace_dir`` enables per-cell
+    telemetry (see :class:`BenchContext`); trace files are written by
+    whichever process runs the cell."""
     if jobs <= 1 or len(names) <= 1:
-        ctx = BenchContext()
+        ctx = BenchContext(trace_dir=trace_dir)
         for name in names:
             yield _run_one(name, quick, ctx)
         return
@@ -221,5 +280,6 @@ def run_experiments(
     # serial run.
     with mp.get_context("spawn").Pool(min(jobs, len(names))) as pool:
         yield from pool.imap(
-            _run_one_job, [(name, quick) for name in names], chunksize=1
+            _run_one_job, [(name, quick, trace_dir) for name in names],
+            chunksize=1,
         )

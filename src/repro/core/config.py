@@ -82,6 +82,14 @@ class EtaGraphConfig:
     #: and the fuzz CLI turn it on so correctness sweeps exercise the
     #: real engine path, not a mirror of it.
     check_invariants: bool = False
+    #: Record a span trace of every query (:mod:`repro.observability`):
+    #: setup phases, per-iteration transform/kernel/transfer/migration
+    #: activity, all timestamped on the *simulated* clock.  The trace
+    #: hangs off :attr:`TraversalResult.trace <repro.core.engine.
+    #: TraversalResult>`.  Off by default and zero-cost when off; on, it
+    #: observes without perturbing — labels and simulated timings stay
+    #: bit-identical (``python -m repro.observability identity``).
+    telemetry: bool = False
 
     def __post_init__(self):
         if self.degree_limit < 1:

@@ -61,6 +61,10 @@ class TraversalResult:
     #: :class:`~repro.core.session.EngineSession`; warm queries report 0.
     setup_ms: float = 0.0
     extras: dict = field(default_factory=dict)
+    #: A :class:`repro.observability.Trace` of this query when the
+    #: session ran with ``telemetry=True`` (or an external tracer was
+    #: attached); ``None`` otherwise.
+    trace: object | None = None
 
     @property
     def query_ms(self) -> float:

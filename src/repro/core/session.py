@@ -139,6 +139,15 @@ class EngineSession:
         #: a guaranteed no-op: results and timings are bit-identical to a
         #: session built without the parameter.
         self.injector = injector
+        #: Optional externally-owned :class:`repro.observability.Tracer`.
+        #: When set, every query records its spans into it (the caller
+        #: keeps the tracer across attempts/errors — how the resilience
+        #: ladder and the bench runner capture partial traces).  When
+        #: ``None`` and ``config.telemetry`` is true, each query creates
+        #: its own tracer and hangs the trace off the result.  Spans only
+        #: *read* the simulated clock; results are bit-identical either
+        #: way.
+        self.tracer = None
         self.memory = DeviceMemory(device)
         self.memory.injector = injector
         self.caches = CacheHierarchy(device)
@@ -249,10 +258,16 @@ class EngineSession:
         prof: Profiler,
         timeline: Timeline,
         clock: float,
+        tr=None,
     ) -> float:
         """Register (UM), pin (zero-copy) or copy (device) new topology
         arrays; advances the query clock and the session setup meter."""
         spec = self.device
+        span = None
+        if tr is not None:
+            span = tr.start("install_topology", "engine", clock,
+                            kind=self._topo_kind(), arrays=len(arrays))
+            tr.cursor_ms = clock
         if self.um is not None:
             for arr in arrays:
                 self.um.register(arr)
@@ -260,20 +275,27 @@ class EngineSession:
                 dt = spec.um_alloc_overhead_us * 1e-3
                 clock += dt
                 self.setup_ms += dt
+                if tr is not None:
+                    tr.emit("um.register", "engine", dt, array=arr.name)
         elif self.config.memory_mode is MemoryMode.ZERO_COPY:
             # Pinning + mapping the host buffers (cudaHostAlloc path).
             dt = len(arrays) * spec.um_alloc_overhead_us * 1e-3
             clock += dt
             self.setup_ms += dt
+            if tr is not None:
+                tr.emit("pin_host", "engine", dt)
         else:
             # cudaMemcpy of the whole topology before the first kernel.
             for arr in arrays:
-                t = h2d_copy(spec, prof, arr.nbytes, injector=self.injector)
+                t = h2d_copy(spec, prof, arr.nbytes, injector=self.injector,
+                             tracer=tr, label=arr.name)
                 timeline.add("transfer", clock, clock + t, nbytes=arr.nbytes,
                              label=arr.name)
                 clock += t
                 self.setup_ms += t
                 self.setup_transfer_bytes += arr.nbytes
+        if span is not None:
+            tr.end(span, clock)
         return clock
 
     def _place_topology(
@@ -282,6 +304,7 @@ class EngineSession:
         prof: Profiler,
         timeline: Timeline,
         clock: float,
+        tr=None,
     ) -> float:
         """Allocate + install CSR arrays still missing for ``problem``."""
         csr = self.csr
@@ -303,11 +326,11 @@ class EngineSession:
             )
             new.append(self._weights_arr)
         if new:
-            clock = self._install(new, prof, timeline, clock)
+            clock = self._install(new, prof, timeline, clock, tr)
         return clock
 
     def _prefetch_topology(
-        self, prof: Profiler, timeline: Timeline, clock: float
+        self, prof: Profiler, timeline: Timeline, clock: float, tr=None
     ) -> float:
         """One ``cudaMemPrefetchAsync`` pass per topology array, once per
         session (warm queries under oversubscription re-fault in the
@@ -318,7 +341,9 @@ class EngineSession:
             if arr.name in self._prefetched:
                 continue
             self._prefetched.add(arr.name)
-            batch = self.um.prefetch(arr, prof)
+            if tr is not None:
+                tr.cursor_ms = clock
+            batch = self.um.prefetch(arr, prof, tr)
             if batch.time_ms:
                 timeline.add("transfer", clock, clock + batch.time_ms,
                              nbytes=batch.bytes_moved,
@@ -329,7 +354,7 @@ class EngineSession:
         return clock
 
     def _place_shadow_table(
-        self, prof: Profiler, timeline: Timeline, clock: float
+        self, prof: Profiler, timeline: Timeline, clock: float, tr=None
     ) -> float:
         """Out-of-core UDC: the precomputed shadow table is derived from
         topology alone, so it is session-resident and staged once."""
@@ -349,9 +374,11 @@ class EngineSession:
         self.memory.alloc_empty(
             "shadow_ranges", 2 * max(csr.num_vertices, 1), np.int32
         )
+        if tr is not None:
+            tr.cursor_ms = clock
         t = h2d_copy(self.device, prof, (3 * len(shadow_table)
                                          + 2 * csr.num_vertices) * 4,
-                     injector=self.injector)
+                     injector=self.injector, tracer=tr, label="shadow-table")
         timeline.add("transfer", clock, clock + t, label="shadow-table")
         clock += t
         self.setup_ms += t
@@ -437,6 +464,13 @@ class EngineSession:
     def memo_bytes(self) -> int:
         """Host memory currently retained by the frontier memo."""
         return sum(e.nbytes for e in self._frontier_memo.values())
+
+    def metrics_snapshot(self) -> dict:
+        """This session's live counters (memo, setup, residency) as one
+        :meth:`repro.observability.MetricsRegistry.snapshot` dict."""
+        from repro.observability.metrics import unified_snapshot
+
+        return unified_snapshot(session=self)
 
     def _memo_key(
         self,
@@ -533,8 +567,27 @@ class EngineSession:
         smp = self._smp
         threads_per_block = self._threads_per_block
 
+        # Telemetry (repro.observability): an attached tracer wins; else
+        # config.telemetry creates one per query.  Every site below is
+        # guarded by ``tr is not None`` — with telemetry off this costs
+        # nothing, and with it on the spans only *read* ``clock``.
+        tr = self.tracer
+        if tr is None and cfg.telemetry:
+            from repro.observability.spans import Tracer
+
+            tr = Tracer()
+        q_span = None
+        if tr is not None:
+            q_span = tr.start(
+                "query", "engine", clock,
+                problem=problem.name, source=source,
+                memory_mode=cfg.memory_mode.value,
+                vertices=csr.num_vertices, edges=csr.num_edges,
+                warm=self.warm,
+            )
+
         # --- topology placement (first query only) -----------------------
-        clock = self._place_topology(problem, prof, timeline, clock)
+        clock = self._place_topology(problem, prof, timeline, clock, tr)
         offsets_arr = self._offsets_arr
         cols_arr = self._cols_arr
         weights_arr = self._weights_arr if problem.needs_weights else None
@@ -547,7 +600,10 @@ class EngineSession:
         frontier = self._frontier_buffers()
         parents_arr = self._parents_buffer()
         parents = parents_arr.data if parents_arr is not None else None
-        t = h2d_copy(spec, prof, labels_arr.nbytes, injector=self.injector)
+        if tr is not None:
+            tr.cursor_ms = clock
+        t = h2d_copy(spec, prof, labels_arr.nbytes, injector=self.injector,
+                     tracer=tr, label="labels-init")
         timeline.add("transfer", clock, clock + t, nbytes=labels_arr.nbytes,
                      label="labels-init")
         clock += t
@@ -557,10 +613,10 @@ class EngineSession:
             um_bytes = sum(a.nbytes for a in topo_arrays)
             oversubscribed = um_bytes > um.resident_budget_pages * spec.page_bytes
 
-        clock = self._prefetch_topology(prof, timeline, clock)
+        clock = self._prefetch_topology(prof, timeline, clock, tr)
 
         # --- optional out-of-core UDC table ------------------------------
-        clock = self._place_shadow_table(prof, timeline, clock)
+        clock = self._place_shadow_table(prof, timeline, clock, tr)
         shadow_table = self._shadow_table
 
         # --- traversal loop ----------------------------------------------
@@ -585,6 +641,12 @@ class EngineSession:
             active = frontier.active
             frontier.reset()  # the paper's per-iteration reset-and-reuse
 
+            it_span = None
+            if tr is not None:
+                it_span = tr.start("iteration", "engine", clock,
+                                   index=iteration, active=len(active))
+                tr.cursor_ms = clock
+
             # Frontier memo: an already-seen active set reuses its whole
             # label-independent expansion (degree cut, edge gather, trace
             # plan).  The transform kernel below still runs — its cache
@@ -595,6 +657,7 @@ class EngineSession:
                     self.injector.on_memo_lookup(self)
                 key = self._memo_key(active, labels_arr, weights_arr)
                 entry = self._memo_get(key)
+            memo_hit = entry is not None
 
             # actSet2virtActSet kernel: gather offsets, emit 3-tuples —
             # or, out-of-core, a plain range gather from the shadow table.
@@ -607,6 +670,7 @@ class EngineSession:
                     write_bytes=len(shadows) * 4,
                     n_threads=len(active),
                     instr_per_thread=8.0,
+                    tracer=tr, trace_name="transform",
                 )
             else:
                 shadows = entry.shadows if entry is not None \
@@ -619,6 +683,7 @@ class EngineSession:
                     instr_per_thread=14.0,
                     scatter_base_address=offsets_arr.base_address,
                     scatter_indices=np.asarray(active, dtype=np.int64),
+                    tracer=tr, trace_name="transform",
                 )
             prof.record_kernel(transform.counters)
             transform_ms = transform.time_ms
@@ -642,36 +707,50 @@ class EngineSession:
                 )
                 timeline.add("transfer", clock, clock + zero_copy_ms,
                              nbytes=zc_bytes, label=f"zerocopy-{iteration}")
+                if tr is not None:
+                    tr.emit("zerocopy", "transfer", zero_copy_ms, t_ms=clock,
+                            nbytes=float(zc_bytes))
             if um is not None and cfg.memory_mode is MemoryMode.UM_ON_DEMAND:
+                # Migration overlaps the kernel, so its trace events tile
+                # from the iteration start, not from the cursor's
+                # post-transform position.
+                if tr is not None:
+                    tr.cursor_ms = clock
                 batches = [
                     um.touch_byte_ranges(
                         offsets_arr,
                         np.asarray(active, dtype=np.int64) * 4,
                         np.full(len(active), 8, dtype=np.int64),
-                        prof,
+                        prof, tr,
                     )
                 ]
                 if len(shadows):
                     starts_b = shadows.starts * 4
                     lens_b = shadows.degrees * 4
                     batches.append(
-                        um.touch_byte_ranges(cols_arr, starts_b, lens_b, prof)
+                        um.touch_byte_ranges(cols_arr, starts_b, lens_b,
+                                             prof, tr)
                     )
                     if weights_arr is not None:
                         batches.append(
-                            um.touch_byte_ranges(weights_arr, starts_b, lens_b, prof)
+                            um.touch_byte_ranges(weights_arr, starts_b, lens_b,
+                                                 prof, tr)
                         )
                 migration_ms = sum(b.time_ms for b in batches)
                 migration_bytes = sum(b.bytes_moved for b in batches)
             elif um is not None and cfg.memory_mode is MemoryMode.UM_PREFETCH \
                     and oversubscribed and len(shadows):
                 # Prefetched but oversubscribed: evicted pages re-fault.
+                if tr is not None:
+                    tr.cursor_ms = clock
                 starts_b = shadows.starts * 4
                 lens_b = shadows.degrees * 4
-                batches = [um.touch_byte_ranges(cols_arr, starts_b, lens_b, prof)]
+                batches = [um.touch_byte_ranges(cols_arr, starts_b, lens_b,
+                                                prof, tr)]
                 if weights_arr is not None:
                     batches.append(
-                        um.touch_byte_ranges(weights_arr, starts_b, lens_b, prof)
+                        um.touch_byte_ranges(weights_arr, starts_b, lens_b,
+                                             prof, tr)
                     )
                 migration_ms = sum(b.time_ms for b in batches)
                 migration_bytes = sum(b.bytes_moved for b in batches)
@@ -684,6 +763,8 @@ class EngineSession:
                     newly_visited=0, kernel_ms=0.0, transform_ms=transform_ms,
                     transfer_ms=migration_ms, elapsed_end_ms=clock,
                 ))
+                if it_span is not None:
+                    tr.end(it_span, clock, shadows=0, edges=0, updates=0)
                 iteration += 1
                 continue
 
@@ -755,6 +836,9 @@ class EngineSession:
                 # device labels and aborts the launch with a typed
                 # DataCorruptionError before results can be consumed.
                 self.injector.on_kernel_launch(labels)
+            if tr is not None:
+                # The vertex kernel issues after the transform kernel.
+                tr.cursor_ms = clock + transform_ms
             timing = simulate_vertex_kernel(
                 spec, caches,
                 starts=shadows.starts,
@@ -771,6 +855,7 @@ class EngineSession:
                 instr_per_edge=problem.instr_per_edge,
                 threads_per_block=threads_per_block,
                 plan=entry.trace_plan,
+                tracer=tr,
             )
             prof.record_kernel(timing.counters)
             kernel_ms = timing.time_ms
@@ -811,6 +896,13 @@ class EngineSession:
                 transfer_ms=migration_ms,
                 elapsed_end_ms=clock,
             ))
+            if it_span is not None:
+                tr.end(
+                    it_span, clock,
+                    shadows=len(shadows), edges=shadows.total_edges,
+                    updates=attempted, newly_visited=len(newly),
+                    memo="hit" if memo_hit else "miss",
+                )
 
             frontier.publish(changed)
             iteration += 1
@@ -818,9 +910,22 @@ class EngineSession:
                 break
 
         total_ms = clock
+        if tr is not None:
+            tr.cursor_ms = clock
         d2h_ms = d2h_copy(spec, prof, labels_arr.nbytes,
-                          injector=self.injector)
+                          injector=self.injector,
+                          tracer=tr, label="labels-d2h")
         setup_this_call = self.setup_ms - setup_before
+
+        trace = None
+        if tr is not None:
+            tr.end(q_span, total_ms + d2h_ms,
+                   iterations=iteration, total_ms=total_ms, d2h_ms=d2h_ms)
+            trace = tr.trace(
+                problem=problem.name, source=source,
+                graph=f"{csr.num_vertices}v-{csr.num_edges}e",
+                memory_mode=cfg.memory_mode.value,
+            )
 
         result = TraversalResult(
             labels=labels.copy(),
@@ -838,6 +943,7 @@ class EngineSession:
             um_bytes=mem.um_bytes_allocated,
             oversubscribed=oversubscribed,
             setup_ms=setup_this_call,
+            trace=trace,
             extras={
                 "smp_effective": smp,
                 "threads_per_block": threads_per_block,

@@ -151,6 +151,8 @@ def simulate_vertex_kernel(
     idle_instr: float = 6.0,
     threads_per_block: int = 256,
     plan: TracePlan | None = None,
+    tracer=None,
+    trace_name: str = "vertex_kernel",
 ) -> KernelTiming:
     """Simulate one vertex-centric traversal kernel launch.
 
@@ -183,6 +185,10 @@ def simulate_vertex_kernel(
         the whole trace pipeline (sampling, edge expansion, coalescing
         sort) is skipped; only the stateful cache walk and the
         instruction model run.  The plan's fingerprint is checked.
+    tracer:
+        A :class:`repro.observability.Tracer` (normally ``None``) that
+        receives one ``compute`` event named ``trace_name`` at its write
+        cursor; timing is computed identically with or without it.
     """
     starts = np.asarray(starts, dtype=np.int64)
     degrees = np.asarray(degrees, dtype=np.int64)
@@ -319,7 +325,7 @@ def simulate_vertex_kernel(
     # *trace*, not the launch, so rescaling sampled counts by the
     # edge-based ``scale`` would misreport them whenever kept warps have
     # skewed degrees.  The plan keeps the pre-sampling counts.
-    return _finalize(
+    timing = _finalize(
         spec,
         threads=plan.threads_full + idle_threads,
         warps=plan.warps_full + (-(-idle_threads // warp_size)),
@@ -331,6 +337,14 @@ def simulate_vertex_kernel(
         store_transactions=store_transactions,
         shared_load_bytes=shared_load_bytes,
     )
+    if tracer is not None:
+        tracer.emit(
+            trace_name, "compute", timing.time_ms,
+            threads=int(timing.counters.threads),
+            edges=int(total_edges),
+            smp=bool(smp),
+        )
+    return timing
 
 
 def simulate_streaming_kernel(
@@ -345,6 +359,8 @@ def simulate_streaming_kernel(
     scatter_base_address: int = 0,
     scatter_indices: np.ndarray | None = None,
     threads_per_block: int = 256,
+    tracer=None,
+    trace_name: str = "streaming_kernel",
 ) -> KernelTiming:
     """Simulate an edge-centric streaming pass (CuSha shards, compaction).
 
@@ -403,7 +419,7 @@ def simulate_streaming_kernel(
     issue_cycles = n_warps * instr_per_thread
     sm_cycles_max = (issue_cycles + total_stall) / spec.num_sms
 
-    return _finalize(
+    timing = _finalize(
         spec,
         threads=n_threads,
         warps=n_warps,
@@ -414,3 +430,7 @@ def simulate_streaming_kernel(
         load_transactions=stream_transactions + scatter_trans,
         store_transactions=int(np.ceil(write_bytes / spec.sector_bytes)),
     )
+    if tracer is not None:
+        tracer.emit(trace_name, "compute", timing.time_ms,
+                    threads=int(n_threads))
+    return timing

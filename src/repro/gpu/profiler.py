@@ -9,7 +9,17 @@ through :meth:`Profiler.record_kernel`.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
+
+
+def _ratio(numerator: float, denominator: float) -> float:
+    """A derived ratio that is 0.0 — never NaN/inf — when the kernel did
+    no work (zero or non-finite denominator)."""
+    if denominator <= 0 or not math.isfinite(denominator):
+        return 0.0
+    value = numerator / denominator
+    return value if math.isfinite(value) else 0.0
 
 
 @dataclass
@@ -38,35 +48,41 @@ class KernelCounters:
 
     def merge(self, other: "KernelCounters") -> None:
         """Accumulate ``other`` into this counter set (cycle counts add —
-        kernels in one stream execute back-to-back)."""
+        kernels in one stream execute back-to-back).
+
+        Non-finite contributions are dropped rather than added: one NaN
+        sample must not poison a whole accumulation (and with it every
+        derived ratio) for the rest of a session.
+        """
         for f in self.__dataclass_fields__:
-            setattr(self, f, getattr(self, f) + getattr(other, f))
+            value = getattr(other, f)
+            if isinstance(value, float) and not math.isfinite(value):
+                continue
+            setattr(self, f, getattr(self, f) + value)
 
     # Derived metrics (the Fig. 7 bars) ---------------------------------
+    #
+    # Every ratio degrades to 0.0 — never NaN, inf or a ZeroDivisionError
+    # — when the counter set saw no work (zero launches, zero accesses, a
+    # zero-duration kernel).  Empty accumulations are routine: a query
+    # that memo-hits every frontier launches nothing, and the metrics
+    # registry lifts these values verbatim.
 
     @property
     def ipc(self) -> float:
         """Instructions per cycle per SM-equivalent (nvprof ``ipc``)."""
-        if self.cycles <= 0:
-            return 0.0
-        return self.instructions / self.cycles
+        return _ratio(self.instructions, self.cycles)
 
     @property
     def unified_hit_rate(self) -> float:
-        if self.unified_cache_accesses == 0:
-            return 0.0
-        return self.unified_cache_hits / self.unified_cache_accesses
+        return _ratio(self.unified_cache_hits, self.unified_cache_accesses)
 
     @property
     def l2_hit_rate(self) -> float:
-        if self.l2_accesses == 0:
-            return 0.0
-        return self.l2_hits / self.l2_accesses
+        return _ratio(self.l2_hits, self.l2_accesses)
 
     def _throughput(self, nbytes: float) -> float:
-        if self.elapsed_ms <= 0:
-            return 0.0
-        return nbytes / (self.elapsed_ms * 1e-3) / 1e9  # GB/s
+        return _ratio(nbytes, self.elapsed_ms * 1e-3) / 1e9  # GB/s
 
     @property
     def dram_read_throughput_gbps(self) -> float:
@@ -81,6 +97,23 @@ class KernelCounters:
     def unified_read_throughput_gbps(self) -> float:
         sector = 32
         return self._throughput(self.unified_cache_accesses * sector)
+
+    # Structured views (consumed by repro.observability.metrics) --------
+
+    def as_dict(self) -> dict[str, float]:
+        """Raw counter fields, in declaration order."""
+        return {f: getattr(self, f) for f in self.__dataclass_fields__}
+
+    def derived_dict(self) -> dict[str, float]:
+        """The derived ratios/throughputs, each 0.0 on an empty set."""
+        return {
+            "ipc": self.ipc,
+            "unified_hit_rate": self.unified_hit_rate,
+            "l2_hit_rate": self.l2_hit_rate,
+            "dram_read_throughput_gbps": self.dram_read_throughput_gbps,
+            "l2_read_throughput_gbps": self.l2_read_throughput_gbps,
+            "unified_read_throughput_gbps": self.unified_read_throughput_gbps,
+        }
 
 
 @dataclass

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.utils.intervals import intersection_length, union
+
 
 @dataclass(frozen=True)
 class Interval:
@@ -22,38 +24,6 @@ class Interval:
     @property
     def duration_ms(self) -> float:
         return self.end_ms - self.start_ms
-
-
-def _union(intervals: list[tuple[float, float]]) -> list[tuple[float, float]]:
-    """Merge possibly-overlapping intervals into a disjoint union."""
-    if not intervals:
-        return []
-    intervals = sorted(intervals)
-    merged = [intervals[0]]
-    for start, end in intervals[1:]:
-        last_start, last_end = merged[-1]
-        if start <= last_end:
-            merged[-1] = (last_start, max(last_end, end))
-        else:
-            merged.append((start, end))
-    return merged
-
-
-def _intersection_length(
-    a: list[tuple[float, float]], b: list[tuple[float, float]]
-) -> float:
-    total = 0.0
-    i = j = 0
-    while i < len(a) and j < len(b):
-        lo = max(a[i][0], b[j][0])
-        hi = min(a[i][1], b[j][1])
-        if hi > lo:
-            total += hi - lo
-        if a[i][1] < b[j][1]:
-            i += 1
-        else:
-            j += 1
-    return total
 
 
 @dataclass
@@ -78,7 +48,7 @@ class Timeline:
         self.intervals.append(Interval(kind, start_ms, end_ms, nbytes, label))
 
     def _of_kind(self, kind: str) -> list[tuple[float, float]]:
-        return _union(
+        return union(
             [(iv.start_ms, iv.end_ms) for iv in self.intervals if iv.kind == kind]
         )
 
@@ -102,12 +72,20 @@ class Timeline:
 
     def overlap_ms(self) -> float:
         """Time during which transfer and compute proceed concurrently."""
-        return _intersection_length(self._of_kind("compute"), self._of_kind("transfer"))
+        return intersection_length(self._of_kind("compute"), self._of_kind("transfer"))
 
     def overlap_fraction(self) -> float:
         """Overlapped time as a share of the total span (Fig. 4's 60-80%)."""
         span = self.span_ms
         return self.overlap_ms() / span if span > 0 else 0.0
+
+    def to_trace_events(self) -> list[dict]:
+        """The timeline as Chrome trace-event dicts — the same code path
+        the telemetry exporter uses, so Fig. 4 data loads in Perfetto
+        alongside (and consistent with) traced-query spans."""
+        from repro.observability.export import intervals_to_events
+
+        return intervals_to_events(self.intervals)
 
     def cumulative_bytes_series(self, kind: str) -> list[tuple[float, float]]:
         """(time, cumulative bytes) steps for transfer-progress plots."""

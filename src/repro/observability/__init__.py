@@ -1,0 +1,51 @@
+"""Observability: span tracing, metrics, and trace exporters.
+
+The subsystem has three planes (see ``docs/observability.md``):
+
+* :mod:`repro.observability.spans` — a zero-cost-when-disabled span
+  tracer over the simulated clock.  Enable with
+  ``EtaGraphConfig(telemetry=True)``; the resulting
+  :class:`Trace` hangs off :attr:`TraversalResult.trace`.
+* :mod:`repro.observability.metrics` — a labelled counter / gauge /
+  histogram registry that wraps the repo's existing measurement layers
+  (:class:`~repro.gpu.profiler.KernelCounters`, memo and residency
+  counters, the bench ``error_taxonomy``) behind one ``snapshot()``.
+* :mod:`repro.observability.export` — deterministic Chrome trace-event
+  JSON (Perfetto-loadable; compute / transfer / migration tracks
+  reproduce Fig. 4 interactively) and a JSONL event log, plus loaders
+  and a schema validator.
+
+``python -m repro.observability`` exposes ``trace`` / ``summarize`` /
+``validate`` / ``identity`` subcommands; the last one gates the
+telemetry-off-is-bit-identical contract in CI.
+"""
+
+from repro.observability.export import (
+    dumps_stable,
+    load_trace,
+    to_chrome_trace,
+    to_jsonl,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.observability.metrics import MetricsRegistry, unified_snapshot
+from repro.observability.spans import CATEGORIES, SpanRecord, Trace, Tracer
+from repro.observability.summarize import render_summary
+
+__all__ = [
+    "CATEGORIES",
+    "MetricsRegistry",
+    "SpanRecord",
+    "Trace",
+    "Tracer",
+    "dumps_stable",
+    "load_trace",
+    "render_summary",
+    "to_chrome_trace",
+    "to_jsonl",
+    "unified_snapshot",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+]

@@ -1,0 +1,124 @@
+"""Human-readable trace summaries (``python -m repro.observability``).
+
+Renders, for one trace: a per-track busy/overlap table, the top-k hot
+span groups (aggregated by category + name), and a flame summary — the
+span tree collapsed by name-path with inclusive times and call counts.
+"""
+
+from __future__ import annotations
+
+from repro.observability.spans import SpanRecord, Trace
+from repro.utils.intervals import intersection_length, union
+from repro.utils.tables import render_table
+
+
+def _fmt_ms(t: float) -> str:
+    return f"{t:.3f}"
+
+
+def track_table(trace: Trace) -> str:
+    """Busy time per category track, plus compute/transfer overlap."""
+    rows = []
+    for cat in trace.categories():
+        records = [r for r in trace.records if r.category == cat]
+        rows.append([
+            cat,
+            len(records),
+            _fmt_ms(trace.busy_ms(cat)),
+        ])
+    text = render_table(["track", "events", "busy ms"], rows,
+                        title="Tracks")
+    compute = union([(r.start_ms, r.end_ms) for r in trace.records
+                     if r.category == "compute"])
+    moved = union([(r.start_ms, r.end_ms) for r in trace.records
+                   if r.category in ("transfer", "migration")])
+    if compute and moved:
+        overlap = intersection_length(compute, moved)
+        span = trace.span_ms
+        frac = overlap / span if span > 0 else 0.0
+        text += (
+            f"\ncompute/data-movement overlap: {_fmt_ms(overlap)} ms "
+            f"({100 * frac:.0f}% of the {_fmt_ms(span)} ms span)"
+        )
+    return text
+
+
+def hot_spans(trace: Trace, top: int = 10) -> str:
+    """Top-k span groups by total inclusive time."""
+    groups: dict[tuple[str, str], list[SpanRecord]] = {}
+    for r in trace.records:
+        groups.setdefault((r.category, r.name), []).append(r)
+    ranked = sorted(
+        groups.items(),
+        key=lambda kv: (-sum(r.duration_ms for r in kv[1]), kv[0]),
+    )[:top]
+    rows = []
+    for (cat, name), records in ranked:
+        total = sum(r.duration_ms for r in records)
+        longest = max(records, key=lambda r: r.duration_ms)
+        rows.append([
+            f"{cat}/{name}",
+            len(records),
+            _fmt_ms(total),
+            _fmt_ms(total / len(records)),
+            _fmt_ms(longest.duration_ms),
+        ])
+    return render_table(
+        ["span", "count", "total ms", "mean ms", "max ms"], rows,
+        title=f"Top {len(rows)} hot spans",
+    )
+
+
+def flame_summary(trace: Trace, max_depth: int = 4,
+                  max_children: int = 8) -> str:
+    """The span tree collapsed by name at each level.
+
+    Each line shows one name-path with its call count and total
+    inclusive milliseconds, indented by depth — a text flame graph.
+    """
+    by_parent: dict[int | None, list[SpanRecord]] = {}
+    for r in trace.records:
+        by_parent.setdefault(r.parent, []).append(r)
+
+    lines: list[str] = []
+
+    def walk(records: list[SpanRecord], depth: int) -> None:
+        if depth >= max_depth or not records:
+            return
+        groups: dict[str, list[SpanRecord]] = {}
+        for r in sorted(records, key=lambda r: (r.start_ms, r.sid)):
+            groups.setdefault(f"{r.category}/{r.name}", []).append(r)
+        ranked = sorted(
+            groups.items(),
+            key=lambda kv: (-sum(r.duration_ms for r in kv[1]), kv[0]),
+        )
+        for name, group in ranked[:max_children]:
+            total = sum(r.duration_ms for r in group)
+            lines.append(
+                f"{'  ' * depth}{name}  x{len(group)}  {_fmt_ms(total)} ms"
+            )
+            children = [
+                c for r in group for c in by_parent.get(r.sid, [])
+            ]
+            walk(children, depth + 1)
+        if len(ranked) > max_children:
+            lines.append(f"{'  ' * depth}... {len(ranked) - max_children} more")
+
+    walk(by_parent.get(None, []), 0)
+    return "flame summary (inclusive ms):\n" + "\n".join(
+        lines or ["  (no spans)"]
+    )
+
+
+def render_summary(trace: Trace, top: int = 10) -> str:
+    """The full per-query summary the CLI prints."""
+    meta = ", ".join(f"{k}={trace.meta[k]}" for k in sorted(trace.meta))
+    head = f"trace: {len(trace.records)} spans over {trace.span_ms:.3f} ms"
+    if meta:
+        head += f"\n  {meta}"
+    return "\n\n".join([
+        head,
+        track_table(trace),
+        hot_spans(trace, top=top),
+        flame_summary(trace),
+    ])

@@ -48,6 +48,14 @@ class PerfSettings:
     repeats: int = 3
     algorithm: str = "bfs"
     source_seed: int = 3
+    #: Run the timed region with spans enabled.  Off by default so the
+    #: headline numbers measure the untraced engine; turning it on is
+    #: how the <5% telemetry-overhead budget is measured (run both ways
+    #: and compare ``wall_ms_per_query``).
+    telemetry: bool = False
+    #: Write one Chrome trace-event file per graph (the last timed
+    #: query's trace) into this directory.  Implies ``telemetry``.
+    trace_dir: str | None = None
 
     @classmethod
     def quick(cls) -> "PerfSettings":
@@ -63,8 +71,10 @@ def measure_graph(name: str, settings: PerfSettings, device) -> dict:
     """Run the serving workload on one graph; returns the metric dict."""
     csr, _ = datasets.load(name, weighted=False)
     sources = pick_sources(csr, settings.sources, seed=settings.source_seed)
+    telemetry = settings.telemetry or settings.trace_dir is not None
+    config = EtaGraphConfig(telemetry=telemetry)
 
-    with EngineSession(csr, EtaGraphConfig(), device) as session:
+    with EngineSession(csr, config, device) as session:
         # Untimed warm-up: pays topology placement + first-query faults.
         session.query(settings.algorithm, int(sources[0]))
 
@@ -78,6 +88,17 @@ def measure_graph(name: str, settings: PerfSettings, device) -> dict:
         cache_accesses = _cache_accesses(session) - accesses_before
         memo_hits = getattr(session, "memo_hits", 0)
         memo_misses = getattr(session, "memo_misses", 0)
+
+    if settings.trace_dir is not None:
+        # Written after the timed region closed, so file I/O never
+        # perturbs the wall-clock numbers.
+        from repro.observability.export import write_chrome_trace
+
+        trace_dir = Path(settings.trace_dir)
+        trace_dir.mkdir(parents=True, exist_ok=True)
+        write_chrome_trace(
+            results[-1].trace, trace_dir / f"perf-{name}.json"
+        )
 
     edges = sum(r.stats.total_edges_scanned for r in results)
     launches = sum(r.profiler.kernels.launches for r in results)
@@ -164,6 +185,9 @@ def run_perf(
         "sources": settings.sources,
         "repeats": settings.repeats,
         "algorithm": settings.algorithm,
+        "telemetry": bool(
+            settings.telemetry or settings.trace_dir is not None
+        ),
     }
     rows.append([
         "canonical",
@@ -223,6 +247,14 @@ def main(argv: list[str] | None = None) -> int:
         "--graphs", default=None,
         help="comma-separated graph list (default: canonical three)",
     )
+    parser.add_argument(
+        "--telemetry", action="store_true",
+        help="enable spans inside the timed region (overhead measurement)",
+    )
+    parser.add_argument(
+        "--trace-dir", default=None,
+        help="write one Chrome trace per graph here (implies --telemetry)",
+    )
     args = parser.parse_args(argv)
 
     settings = PerfSettings.quick() if args.quick else PerfSettings()
@@ -235,6 +267,10 @@ def main(argv: list[str] | None = None) -> int:
         overrides["graphs"] = tuple(
             g.strip() for g in args.graphs.split(",") if g.strip()
         )
+    if args.telemetry:
+        overrides["telemetry"] = True
+    if args.trace_dir is not None:
+        overrides["trace_dir"] = args.trace_dir
     if overrides:
         from dataclasses import replace
 

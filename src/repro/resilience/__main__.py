@@ -34,6 +34,9 @@ def _chaos(argv: list[str]) -> int:
                         help="time budget in seconds instead of a plan count")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--queries-per-plan", type=int, default=2)
+    parser.add_argument("--trace-dir", default=None,
+                        help="write a Chrome trace for every query that "
+                             "ended in a typed error or a violation")
     parser.add_argument("-q", "--quiet", action="store_true")
     args = parser.parse_args(argv)
     log = None if args.quiet else (lambda msg: print(msg, flush=True))
@@ -43,6 +46,7 @@ def _chaos(argv: list[str]) -> int:
         seed=args.seed,
         queries_per_plan=args.queries_per_plan,
         log=log,
+        trace_dir=args.trace_dir,
     )
     print(report.summary())
     return 0 if report.ok else 1

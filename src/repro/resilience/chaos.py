@@ -96,6 +96,7 @@ def run_chaos(
     queries_per_plan: int = 2,
     max_vertices: int = 64,
     log=None,
+    trace_dir=None,
 ) -> ChaosReport:
     """Sweep random fault plans until the plan or time budget runs out.
 
@@ -106,11 +107,26 @@ def run_chaos(
     ``ReproError``\\ s are acceptable outcomes (counted, not failed);
     anything else — a label mismatch or an untyped exception — is a
     contract violation recorded with its replay coordinates.
+
+    ``trace_dir`` (optional) turns on telemetry per query and writes a
+    Chrome trace-event file for every query that ended in a typed error
+    or a contract violation — the spans recorded up to the failure,
+    including the resilience ladder's attempts, so a failing plan can be
+    diagnosed on a timeline instead of replayed blind.
     """
     # Imported here, not at module top: repro.testing imports the engine
     # stack and the chaos CLI lives inside repro.testing's __main__.
     from repro.testing.differential import diff_labels, oracle_labels
     from repro.testing.fuzz import random_config, random_graph
+
+    if trace_dir is not None:
+        from pathlib import Path
+
+        from repro.observability.export import write_chrome_trace
+        from repro.observability.spans import Tracer
+
+        trace_dir = Path(trace_dir)
+        trace_dir.mkdir(parents=True, exist_ok=True)
 
     if max_plans is None and max_seconds is None:
         max_plans = 200
@@ -156,18 +172,36 @@ def run_chaos(
             for q in range(queries_per_plan):
                 source = int(rng.integers(graph.num_vertices))
                 report.queries += 1
+                if trace_dir is not None:
+                    # One externally-owned tracer per query so the spans
+                    # recorded up to a failure survive the exception.
+                    rs.tracer = Tracer()
+
+                def _dump_trace(label: str) -> None:
+                    if trace_dir is None or rs.tracer is None:
+                        return
+                    write_chrome_trace(
+                        rs.tracer.trace(
+                            plan=case, query=q, problem=problem,
+                            source=source, outcome=label, sweep_seed=seed,
+                        ),
+                        trace_dir / f"plan{case:04d}-q{q}-{label}.json",
+                    )
+
                 try:
                     outcome = rs.run(problem, source)
                 except ReproError as exc:
                     name = type(exc).__name__
                     report.typed_errors[name] = \
                         report.typed_errors.get(name, 0) + 1
+                    _dump_trace(name)
                     continue
                 except Exception as exc:  # noqa: BLE001 — the contract
                     report.failures.append(
                         f"{coords} query {q}: UNTYPED "
                         f"{type(exc).__name__}: {exc}"
                     )
+                    _dump_trace("untyped")
                     continue
                 diff = diff_labels(
                     oracle_labels(graph, problem, source),
@@ -178,6 +212,7 @@ def run_chaos(
                         f"{coords} query {q} (source {source}, served from "
                         f"{outcome.final_placement}): WRONG LABELS: {diff}"
                     )
+                    _dump_trace("wrong-labels")
                     continue
                 report.ok_results += 1
                 report.degraded += int(outcome.degraded)
@@ -217,13 +252,20 @@ def check_bit_identity(
     sources: tuple[int, ...],
     config: EtaGraphConfig | None = None,
 ) -> list[str]:
-    """Serve the same query stream through a bare ``EngineSession`` and a
-    no-fault ``ResilientSession``; return a description of every digest
-    mismatch (empty = bit-identical, the required result)."""
+    """Serve the same query stream through a bare ``EngineSession``, a
+    no-fault ``ResilientSession`` and a telemetry-on ``EngineSession``;
+    return a description of every digest mismatch (empty =
+    bit-identical, the required result).  The third leg gates the
+    observability contract: spans must read the simulated clock, never
+    advance it."""
+    from dataclasses import replace
+
     config = config or EtaGraphConfig()
+    traced_config = replace(config, telemetry=True)
     mismatches = []
     with EngineSession(csr, config) as plain, \
-            ResilientSession(csr, config) as resilient:
+            ResilientSession(csr, config) as resilient, \
+            EngineSession(csr, traced_config) as traced:
         for problem in problems:
             for source in sources:
                 expected = result_digest(plain.query(problem, source))
@@ -238,5 +280,18 @@ def check_bit_identity(
                     mismatches.append(
                         f"{problem}/src={source}: digest {actual} != "
                         f"plain-session digest {expected}"
+                    )
+                traced_result = traced.query(problem, source)
+                traced_digest = result_digest(traced_result)
+                if traced_result.trace is None or \
+                        len(traced_result.trace) == 0:
+                    mismatches.append(
+                        f"{problem}/src={source}: telemetry-on run "
+                        "recorded no trace"
+                    )
+                elif traced_digest != expected:
+                    mismatches.append(
+                        f"{problem}/src={source}: telemetry-on digest "
+                        f"{traced_digest} != telemetry-off digest {expected}"
                     )
     return mismatches

@@ -156,6 +156,12 @@ class RunOutcome:
         return len(self.attempts) > 1
 
     @property
+    def trace(self):
+        """The stitched :class:`repro.observability.Trace` of this serve
+        (``None`` unless the session ran with telemetry)."""
+        return self.result.trace if self.result is not None else None
+
+    @property
     def labels(self) -> np.ndarray:
         return self.result.labels
 
@@ -202,6 +208,13 @@ class ResilientSession:
         self.injector = (
             FaultInjector(fault_plan) if fault_plan is not None else None
         )
+        #: Optional externally-owned :class:`repro.observability.Tracer`.
+        #: When set (or when ``config.telemetry`` is true), every
+        #: :meth:`run` records ``serve``/``attempt``/``backoff`` spans
+        #: and stitches each attempt's engine trace onto one timeline;
+        #: the full trace hangs off ``outcome.result.trace``.  Purely
+        #: observational: results and simulated timings are unchanged.
+        self.tracer = None
         #: Rungs proven to genuinely exceed device capacity this session;
         #: later queries skip them instead of re-failing the allocation.
         self.dead_rungs: set[str] = set()
@@ -310,65 +323,122 @@ class ResilientSession:
         fired_before = len(self.injector.fired) if self.injector else 0
         last_error: Exception | None = None
 
+        # Telemetry: an attached tracer wins; else config.telemetry makes
+        # one per serve.  Attempts are stitched onto one timeline — each
+        # attempt's engine spans record at ``base_ms = cur``, and ``cur``
+        # advances past whatever the attempt (plus simulated backoff)
+        # consumed.  Resilience spans live at base 0, absolute time.
+        tr = self.tracer
+        if tr is None and self.config.telemetry:
+            from repro.observability.spans import Tracer
+
+            tr = Tracer()
+        serve_span = None
+        cur = 0.0
+        if tr is not None:
+            tr.base_ms = 0.0
+            cur = tr.max_end_ms
+            serve_span = tr.start(
+                "serve", "resilience", cur,
+                problem=problem.name, source=source,
+                entry_rung=self.entry_rung,
+            )
+
         rungs = self._ladder_from(self.entry_rung)
         if not rungs:
             raise DeviceOutOfMemoryError(0, 0, self.device.memory_capacity)
-        for rung in rungs:
-            tries = 1 + self.policy.max_retries
-            for try_number in range(1, tries + 1):
-                self._check_deadline(started)
-                try:
-                    result = self._attempt(rung, problem, source, target)
-                except DeviceOutOfMemoryError as exc:
-                    # OOM is not retryable at this placement: demote.  A
-                    # genuine capacity failure also retires the rung for
-                    # the whole session.
+        try:
+            for rung in rungs:
+                tries = 1 + self.policy.max_retries
+                for try_number in range(1, tries + 1):
+                    self._check_deadline(started)
+                    a_span = None
+                    if tr is not None:
+                        tr.base_ms = cur
+                        a_span = tr.start(
+                            "attempt", "resilience", 0.0,
+                            rung=rung, try_number=try_number,
+                        )
+                    try:
+                        result = self._attempt(rung, problem, source, target, tr)
+                    except DeviceOutOfMemoryError as exc:
+                        # OOM is not retryable at this placement: demote.
+                        # A genuine capacity failure also retires the
+                        # rung for the whole session.
+                        if tr is not None:
+                            cur = self._close_attempt(tr, a_span, exc)
+                        outcome.attempts.append(Attempt(
+                            rung=rung, try_number=try_number,
+                            error=f"{type(exc).__name__}: {exc}",
+                        ))
+                        last_error = exc
+                        self._discard(rung)
+                        if rung != "cpu_oracle" and \
+                                exc.requested + exc.in_use > exc.capacity:
+                            self.dead_rungs.add(rung)
+                        break
+                    except (TransientDeviceError, DataCorruptionError) as exc:
+                        if tr is not None:
+                            cur = self._close_attempt(tr, a_span, exc)
+                        backoff = 0.0
+                        if try_number <= self.policy.max_retries:
+                            backoff = self.policy.backoff_base_ms * \
+                                2.0 ** (try_number - 1)
+                            outcome.backoff_ms += backoff
+                            if tr is not None and backoff > 0:
+                                tr.emit("backoff", "resilience", backoff,
+                                        t_ms=cur, rung=rung,
+                                        try_number=try_number)
+                                cur += backoff
+                        outcome.attempts.append(Attempt(
+                            rung=rung, try_number=try_number,
+                            error=f"{type(exc).__name__}: {exc}",
+                            backoff_ms=backoff,
+                        ))
+                        last_error = exc
+                        continue  # retry this rung (or fall off to demote)
+                    except ConvergenceError as exc:
+                        if tr is not None:
+                            self._close_attempt(tr, a_span, exc)
+                        if self.policy.max_iterations is not None:
+                            raise DeadlineExceededError(
+                                f"query exceeded its iteration budget of "
+                                f"{self.policy.max_iterations}"
+                            ) from exc
+                        raise
+                    if tr is not None:
+                        cur = self._close_attempt(tr, a_span, None)
                     outcome.attempts.append(Attempt(
-                        rung=rung, try_number=try_number,
-                        error=f"{type(exc).__name__}: {exc}",
+                        rung=rung, try_number=try_number, error=None,
                     ))
-                    last_error = exc
-                    self._discard(rung)
-                    if rung != "cpu_oracle" and \
-                            exc.requested + exc.in_use > exc.capacity:
-                        self.dead_rungs.add(rung)
-                    break
-                except (TransientDeviceError, DataCorruptionError) as exc:
-                    backoff = 0.0
-                    if try_number <= self.policy.max_retries:
-                        backoff = self.policy.backoff_base_ms * \
-                            2.0 ** (try_number - 1)
-                        outcome.backoff_ms += backoff
-                    outcome.attempts.append(Attempt(
-                        rung=rung, try_number=try_number,
-                        error=f"{type(exc).__name__}: {exc}",
-                        backoff_ms=backoff,
-                    ))
-                    last_error = exc
-                    continue  # retry this rung (or fall off to demote)
-                except ConvergenceError as exc:
-                    if self.policy.max_iterations is not None:
-                        raise DeadlineExceededError(
-                            f"query exceeded its iteration budget of "
-                            f"{self.policy.max_iterations}"
-                        ) from exc
-                    raise
-                outcome.attempts.append(Attempt(
-                    rung=rung, try_number=try_number, error=None,
-                ))
-                outcome.result = result
-                outcome.final_placement = rung
-                outcome.degraded = rung != outcome.requested_placement
-                if self.injector is not None:
-                    outcome.faults_seen = list(
-                        self.injector.fired[fired_before:]
-                    )
-                self.queries_served += 1
-                return outcome
+                    outcome.result = result
+                    outcome.final_placement = rung
+                    outcome.degraded = rung != outcome.requested_placement
+                    if self.injector is not None:
+                        outcome.faults_seen = list(
+                            self.injector.fired[fired_before:]
+                        )
+                    self.queries_served += 1
+                    if tr is not None:
+                        tr.end(serve_span, cur, placement=rung,
+                               attempts=outcome.num_attempts,
+                               degraded=outcome.degraded)
+                        outcome.result.trace = tr.trace(
+                            problem=problem.name, source=source,
+                            resilient="true", placement=rung,
+                        )
+                    return outcome
 
-        # Every allowed rung failed; surface the last typed error.
-        assert last_error is not None
-        raise last_error
+            # Every allowed rung failed; surface the last typed error.
+            assert last_error is not None
+            raise last_error
+        except Exception:
+            # Keep the trace well-formed for post-mortem export: close
+            # whatever the raise left open (the serve span, at least).
+            if tr is not None:
+                tr.base_ms = 0.0
+                tr.unwind(tr.max_end_ms, error=True)
+            raise
 
     #: Drop-in :class:`~repro.core.session.EngineSession` compatibility:
     #: same signature, returns the bare :class:`TraversalResult`.
@@ -396,19 +466,41 @@ class ResilientSession:
                 f"({elapsed_ms:.1f} ms elapsed)"
             )
 
+    @staticmethod
+    def _close_attempt(tr, span, exc: Exception | None) -> float:
+        """Close one attempt's span (plus anything an exception left open
+        beneath it) and return the stitched timeline's new position."""
+        end_local = max(tr.max_end_ms - tr.base_ms, 0.0)
+        if exc is None:
+            tr.end(span, end_local)
+        else:
+            tr.end(span, end_local, error=type(exc).__name__)
+        end_abs = tr.base_ms + end_local
+        tr.base_ms = 0.0
+        return end_abs
+
     def _attempt(
         self,
         rung: str,
         problem: TraversalProblem,
         source: int,
         target: int | None,
+        tracer=None,
     ) -> TraversalResult:
         if rung == "cpu_oracle":
-            return self._cpu_oracle_result(problem, source)
-        return self._session_for(rung).query(problem, source, target=target)
+            return self._cpu_oracle_result(problem, source, tracer)
+        session = self._session_for(rung)
+        if tracer is None:
+            return session.query(problem, source, target=target)
+        prev = session.tracer
+        session.tracer = tracer
+        try:
+            return session.query(problem, source, target=target)
+        finally:
+            session.tracer = prev
 
     def _cpu_oracle_result(
-        self, problem: TraversalProblem, source: int
+        self, problem: TraversalProblem, source: int, tracer=None
     ) -> TraversalResult:
         """The ladder's floor: exact serial traversal on the host.
 
@@ -422,6 +514,9 @@ class ResilientSession:
         t0 = time.perf_counter()
         labels = oracle_labels(self.csr, problem.name, source)
         wall_ms = (time.perf_counter() - t0) * 1e3
+        if tracer is not None:
+            tracer.emit("cpu_oracle", "resilience", wall_ms, t_ms=0.0,
+                        wall_time=True)
         n = self.csr.num_vertices
         seeds = problem.initial_frontier(n, source)
         return TraversalResult(

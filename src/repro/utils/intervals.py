@@ -1,0 +1,48 @@
+"""Interval arithmetic shared by the timeline and the telemetry plane.
+
+One implementation of the disjoint-union / intersection helpers serves
+:mod:`repro.gpu.timeline` (Fig. 4 overlap statistics) and
+:mod:`repro.observability` (per-track busy time in trace summaries), so
+the two layers can never disagree about what "busy" means.
+"""
+
+from __future__ import annotations
+
+
+def union(intervals: list[tuple[float, float]]) -> list[tuple[float, float]]:
+    """Merge possibly-overlapping ``(start, end)`` pairs into a disjoint,
+    sorted union."""
+    if not intervals:
+        return []
+    intervals = sorted(intervals)
+    merged = [intervals[0]]
+    for start, end in intervals[1:]:
+        last_start, last_end = merged[-1]
+        if start <= last_end:
+            merged[-1] = (last_start, max(last_end, end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
+def intersection_length(
+    a: list[tuple[float, float]], b: list[tuple[float, float]]
+) -> float:
+    """Total length of the overlap between two disjoint sorted unions."""
+    total = 0.0
+    i = j = 0
+    while i < len(a) and j < len(b):
+        lo = max(a[i][0], b[j][0])
+        hi = min(a[i][1], b[j][1])
+        if hi > lo:
+            total += hi - lo
+        if a[i][1] < b[j][1]:
+            i += 1
+        else:
+            j += 1
+    return total
+
+
+def union_length(intervals: list[tuple[float, float]]) -> float:
+    """Total covered length of an arbitrary interval collection."""
+    return sum(hi - lo for lo, hi in union(intervals))
