@@ -11,6 +11,9 @@ Public surface:
 * :mod:`repro.bench` — the table/figure reproduction harness,
 * :class:`repro.ResilientSession` — the hardened serving wrapper
   (retry, budgets, graceful degradation; see ``docs/resilience.md``),
+* :class:`repro.TraversalService` / :mod:`repro.serving` — the
+  multi-tenant request/response frontend with SLO-aware admission
+  (see ``docs/serving.md``),
 * :class:`repro.Tracer` / :mod:`repro.observability` — opt-in telemetry
   over the simulated timeline (see ``docs/observability.md``).
 """
@@ -23,6 +26,7 @@ from repro.graph.csr import CSRGraph
 from repro.gpu.device import DeviceSpec, GTX_1080TI
 from repro.observability import Tracer
 from repro.resilience import FaultPlan, ResilientSession, RetryPolicy
+from repro.serving import TraversalService
 
 __version__ = "0.1.0"
 
@@ -42,5 +46,6 @@ __all__ = [
     "ResilientSession",
     "RetryPolicy",
     "Tracer",
+    "TraversalService",
     "__version__",
 ]

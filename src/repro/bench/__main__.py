@@ -7,6 +7,7 @@ Usage::
     python -m repro.bench all --quick   # everything, small datasets only
     python -m repro.bench all --jobs 4  # same results, process-parallel
     python -m repro.bench perf          # simulator wall-clock harness
+    python -m repro.bench serve         # closed-loop serving load bench
     python -m repro.bench compare A B   # diff two --json-dir outputs
 """
 
@@ -64,6 +65,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.perf.harness import main as perf_main
 
         return perf_main(argv[1:])
+    if argv[:1] == ["serve"]:
+        from repro.serving.loadgen import main as serve_main
+
+        return serve_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
         description="Regenerate the paper's tables and figures.",
@@ -72,7 +77,7 @@ def main(argv: list[str] | None = None) -> int:
         "experiment",
         nargs="?",
         help=f"one of: {', '.join(sorted(ALL_EXPERIMENTS))}, 'all', "
-        "'perf', or 'compare A B'",
+        "'perf', 'serve', or 'compare A B'",
     )
     parser.add_argument(
         "--quick", action="store_true",

@@ -122,3 +122,11 @@ class EtaGraphConfig:
         if isinstance(mode, str):
             mode = MemoryMode(mode)
         return replace(self, memory_mode=mode)
+
+    def with_track_parents(self, track: bool = True) -> "EtaGraphConfig":
+        """This configuration with parent tracking toggled — the variant
+        the serving layer's shortest-path pool runs (path reconstruction
+        needs per-vertex parent pointers)."""
+        from dataclasses import replace
+
+        return replace(self, track_parents=track)

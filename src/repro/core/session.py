@@ -519,6 +519,7 @@ class EngineSession:
         source: int,
         *,
         target: int | None = None,
+        max_iterations: int | None = None,
     ):
         """Run one traversal against the session's resident topology.
 
@@ -527,12 +528,21 @@ class EngineSession:
         differs: topology setup is paid at most once per session, and
         the returned result's ``setup_ms`` records the slice of it paid
         during *this* call.
+
+        ``max_iterations`` tightens (or loosens) the config's iteration
+        budget for *this query only* — the per-request budget hook the
+        resilience and serving layers use without rebuilding the
+        session's resident state.  ``None`` keeps the config's budget.
         """
         from repro.core.engine import TraversalResult
 
         self._check_open()
         if isinstance(problem, str):
             problem = get_problem(problem)
+        if max_iterations is not None and max_iterations < 1:
+            raise ConfigError(
+                f"max_iterations must be >= 1, got {max_iterations}"
+            )
         problem.check_graph(self.csr)
         if target is not None:
             if problem.name != "bfs":
@@ -632,11 +642,14 @@ class EngineSession:
         weights = csr.edge_weights if problem.needs_weights else None
 
         iteration = 0
+        iteration_limit = (
+            cfg.max_iterations if max_iterations is None else max_iterations
+        )
         while not frontier.is_empty:
-            if iteration >= cfg.max_iterations:
+            if iteration >= iteration_limit:
                 raise ConvergenceError(
                     f"{problem.name} did not converge within "
-                    f"{cfg.max_iterations} iterations"
+                    f"{iteration_limit} iterations"
                 )
             active = frontier.active
             frontier.reset()  # the paper's per-iteration reset-and-reuse

@@ -20,6 +20,8 @@ exception                parent                       meaning
 ``ConvergenceError``     ``ReproError``               iteration budget blown
 ``DeadlineExceededError``  ``ReproError``             per-query wall/iteration
                                                       budget exhausted
+``QuotaExceededError``   ``ReproError``               serving admission bound
+                                                      (tenant quota / pool) hit
 ``InvariantViolation``   ``ReproError``               structural invariant broken
 ``DeviceError``          ``ReproError``               base of simulated-GPU errors
 ``DeviceOutOfMemoryError`` ``DeviceError``            ``cudaMalloc`` exhaustion
@@ -123,7 +125,17 @@ class ConvergenceError(ReproError):
 
 class DeadlineExceededError(ReproError):
     """Raised when a query exhausts its per-query wall-clock or iteration
-    budget (:class:`repro.resilience.RetryPolicy`) before completing."""
+    budget (:class:`repro.resilience.RetryPolicy`) before completing, or
+    when the serving layer (:mod:`repro.serving`) finds a request's
+    simulated deadline already expired before any work starts."""
+
+
+class QuotaExceededError(ReproError):
+    """Raised by the serving admission queue (:mod:`repro.serving`) when
+    accepting a request would exceed a capacity bound: the tenant's
+    pending-request quota, the service-wide queue bound, or an exhausted
+    worker pool.  The request was rejected before any work started, so
+    the caller can safely retry later or against another replica."""
 
 
 class InvariantViolation(ReproError):

@@ -216,6 +216,17 @@ def add_error_taxonomy(reg: MetricsRegistry, taxonomy: dict) -> None:
         reg.inc("bench.cells", n, outcome="error", type=error_type)
 
 
+def add_service(reg: MetricsRegistry, service) -> None:
+    """Lift a :class:`~repro.serving.TraversalService`'s own registry
+    (per-tenant request/latency/shed series) plus its live gauges."""
+    reg.merge(service.metrics)
+    reg.set_gauge("service.pool_size", service.pool.size)
+    reg.set_gauge("service.pending", len(service.queue))
+    reg.set_gauge("service.clock_ms", service.clock_ms)
+    reg.set_gauge("service.requests_served", service.requests_served)
+    reg.set_gauge("service.requests_shed", service.requests_shed)
+
+
 def add_run_outcome(reg: MetricsRegistry, outcome) -> None:
     """Lift a :class:`~repro.resilience.session.RunOutcome` into
     ``resilience.*`` counters."""
@@ -232,6 +243,7 @@ def unified_snapshot(
     profiler=None,
     taxonomy: dict | None = None,
     registry: MetricsRegistry | None = None,
+    service=None,
 ) -> dict:
     """One ``snapshot()`` over any combination of the repo's existing
     measurement layers (plus an already-populated registry to merge)."""
@@ -244,4 +256,6 @@ def unified_snapshot(
         add_profiler(reg, profiler)
     if taxonomy is not None:
         add_error_taxonomy(reg, taxonomy)
+    if service is not None:
+        add_service(reg, service)
     return reg.snapshot()

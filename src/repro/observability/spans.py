@@ -21,7 +21,10 @@ Span categories map to Perfetto tracks in the Chrome-trace exporter
 (:mod:`repro.observability.export`): ``engine`` and ``resilience`` hold
 the structural spans (query, iteration, attempt), while ``compute``,
 ``transfer`` and ``migration`` carry the activity intervals that
-reproduce Fig. 4 as an interactive timeline.
+reproduce Fig. 4 as an interactive timeline.  ``service`` is the
+serving frontend's track (:mod:`repro.serving`): one ``request`` span
+per dispatched request — tenant, endpoint and worker lane in the attrs
+— plus ``shed`` instants for load-shed requests.
 """
 
 from __future__ import annotations
@@ -29,7 +32,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 #: Well-known span categories, in their exporter track order.
-CATEGORIES = ("engine", "compute", "transfer", "migration", "resilience")
+CATEGORIES = (
+    "engine", "compute", "transfer", "migration", "resilience", "service",
+)
 
 
 @dataclass

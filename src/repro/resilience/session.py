@@ -261,14 +261,14 @@ class ResilientSession:
         return _MODE_RUNGS[self.config.memory_mode]
 
     def _rung_config(self, rung: str) -> EtaGraphConfig:
-        cfg = self.config
-        if self.policy.max_iterations is not None:
-            cfg = replace(cfg, max_iterations=self.policy.max_iterations)
+        # Iteration budgets are applied per query (session.query's
+        # max_iterations override), not baked into the rung config, so
+        # one resident session can serve requests with different budgets.
         if rung == self.entry_rung:
             # The entry rung runs the caller's configuration untouched —
             # this is what makes the no-fault path bit-identical.
-            return cfg
-        return replace(cfg, memory_mode=_RUNG_MODES[rung])
+            return self.config
+        return replace(self.config, memory_mode=_RUNG_MODES[rung])
 
     def _session_for(self, rung: str) -> EngineSession:
         session = self._sessions.get(rung)
@@ -287,9 +287,9 @@ class ResilientSession:
         if session is not None:
             session.close()
 
-    def _ladder_from(self, start: str) -> list[str]:
+    def _ladder_from(self, start: str, policy: RetryPolicy) -> list[str]:
         rungs = list(LADDER[LADDER.index(start):])
-        if not self.policy.allow_cpu_fallback:
+        if not policy.allow_cpu_fallback:
             rungs.remove("cpu_oracle")
         return [r for r in rungs if r not in self.dead_rungs]
 
@@ -303,17 +303,23 @@ class ResilientSession:
         source: int,
         *,
         target: int | None = None,
+        policy: RetryPolicy | None = None,
     ) -> RunOutcome:
         """Serve one query through the retry/degradation machinery.
 
         Returns a :class:`RunOutcome`; raises only typed
         :class:`~repro.errors.ReproError` subclasses — a deadline or an
         unservable ladder surfaces as an error, never as a wrong answer.
+
+        ``policy`` overrides the session's :class:`RetryPolicy` for this
+        call only (the serving layer's per-request deadline/iteration
+        budgets); resident rung sessions are reused either way.
         """
         if self._closed:
             raise SessionClosedError("resilient session is closed")
         if isinstance(problem, str):
             problem = get_problem(problem)
+        policy = policy or self.policy
 
         started = time.monotonic()
         outcome = RunOutcome(
@@ -344,14 +350,14 @@ class ResilientSession:
                 entry_rung=self.entry_rung,
             )
 
-        rungs = self._ladder_from(self.entry_rung)
+        rungs = self._ladder_from(self.entry_rung, policy)
         if not rungs:
             raise DeviceOutOfMemoryError(0, 0, self.device.memory_capacity)
         try:
             for rung in rungs:
-                tries = 1 + self.policy.max_retries
+                tries = 1 + policy.max_retries
                 for try_number in range(1, tries + 1):
-                    self._check_deadline(started)
+                    self._check_deadline(started, policy)
                     a_span = None
                     if tr is not None:
                         tr.base_ms = cur
@@ -360,7 +366,10 @@ class ResilientSession:
                             rung=rung, try_number=try_number,
                         )
                     try:
-                        result = self._attempt(rung, problem, source, target, tr)
+                        result = self._attempt(
+                            rung, problem, source, target, tr,
+                            max_iterations=policy.max_iterations,
+                        )
                     except DeviceOutOfMemoryError as exc:
                         # OOM is not retryable at this placement: demote.
                         # A genuine capacity failure also retires the
@@ -381,8 +390,8 @@ class ResilientSession:
                         if tr is not None:
                             cur = self._close_attempt(tr, a_span, exc)
                         backoff = 0.0
-                        if try_number <= self.policy.max_retries:
-                            backoff = self.policy.backoff_base_ms * \
+                        if try_number <= policy.max_retries:
+                            backoff = policy.backoff_base_ms * \
                                 2.0 ** (try_number - 1)
                             outcome.backoff_ms += backoff
                             if tr is not None and backoff > 0:
@@ -400,10 +409,10 @@ class ResilientSession:
                     except ConvergenceError as exc:
                         if tr is not None:
                             self._close_attempt(tr, a_span, exc)
-                        if self.policy.max_iterations is not None:
+                        if policy.max_iterations is not None:
                             raise DeadlineExceededError(
                                 f"query exceeded its iteration budget of "
-                                f"{self.policy.max_iterations}"
+                                f"{policy.max_iterations}"
                             ) from exc
                         raise
                     if tr is not None:
@@ -455,8 +464,8 @@ class ResilientSession:
     # Internals
     # ------------------------------------------------------------------
 
-    def _check_deadline(self, started: float) -> None:
-        deadline = self.policy.deadline_ms
+    def _check_deadline(self, started: float, policy: RetryPolicy) -> None:
+        deadline = policy.deadline_ms
         if deadline is None:
             return
         elapsed_ms = (time.monotonic() - started) * 1e3
@@ -486,16 +495,22 @@ class ResilientSession:
         source: int,
         target: int | None,
         tracer=None,
+        *,
+        max_iterations: int | None = None,
     ) -> TraversalResult:
         if rung == "cpu_oracle":
+            # The exact host traversal has no iteration schedule to
+            # budget; a per-request iteration cap does not apply here.
             return self._cpu_oracle_result(problem, source, tracer)
         session = self._session_for(rung)
         if tracer is None:
-            return session.query(problem, source, target=target)
+            return session.query(problem, source, target=target,
+                                 max_iterations=max_iterations)
         prev = session.tracer
         session.tracer = tracer
         try:
-            return session.query(problem, source, target=target)
+            return session.query(problem, source, target=target,
+                                 max_iterations=max_iterations)
         finally:
             session.tracer = prev
 

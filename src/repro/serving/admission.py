@@ -1,0 +1,182 @@
+"""Admission control: per-tenant quotas + EDF scheduling.
+
+The queue is the service's only waiting room.  A request is either
+*admitted* — it gets a sequence number, an absolute deadline on the
+service's simulated clock, and a slot against its tenant's pending
+quota — or it is rejected at the door with a typed error before any
+worker time is spent:
+
+* :class:`~repro.errors.QuotaExceededError` when the tenant already has
+  ``max_pending`` requests waiting (per-tenant backpressure: one noisy
+  tenant cannot fill the queue and starve the rest);
+* :class:`~repro.errors.DeadlineExceededError` when the request's
+  deadline budget is already spent on arrival (a zero budget, or a
+  replayed arrival time whose deadline has passed) — the satellite
+  guarantee that deadline rejection happens *before work starts*.
+
+Dispatch order is earliest-deadline-first over the implied absolute
+deadlines; best-effort requests (no deadline) sort after every
+deadlined request, and ties break on admission order — the schedule is
+a pure function of the admitted stream, so replaying a request log
+replays the schedule.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError, DeadlineExceededError, QuotaExceededError
+from repro.serving.requests import TraversalRequest
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Admission limits and SLO defaults for one tenant."""
+
+    #: Requests the tenant may have queued at once.
+    max_pending: int = 8
+    #: Deadline budget (simulated ms) applied when a request carries
+    #: none; ``None`` leaves such requests best-effort.
+    deadline_ms: float | None = None
+    #: Iteration budget applied when a request carries none.
+    iteration_budget: int | None = None
+
+    def __post_init__(self):
+        if self.max_pending < 1:
+            raise ConfigError(
+                f"max_pending must be >= 1, got {self.max_pending}"
+            )
+        if self.deadline_ms is not None and self.deadline_ms < 0:
+            raise ConfigError(
+                f"deadline_ms must be >= 0, got {self.deadline_ms}"
+            )
+        if self.iteration_budget is not None and self.iteration_budget < 1:
+            raise ConfigError(
+                f"iteration_budget must be >= 1, got {self.iteration_budget}"
+            )
+
+
+#: The quota applied to tenants without an explicit one.
+DEFAULT_QUOTA = TenantQuota()
+
+
+@dataclass(order=True)
+class AdmittedRequest:
+    """A request the queue accepted, with its resolved SLO budgets.
+
+    Orders as the EDF heap needs: by absolute deadline (best-effort =
+    ``inf``), then by admission sequence.
+    """
+
+    #: Absolute simulated deadline; ``inf`` for best-effort requests.
+    deadline_abs: float
+    #: Admission order (tie-break, and the FIFO key when no deadlines).
+    seq: int
+    request: TraversalRequest = field(compare=False)
+    #: Arrival time on the service clock.
+    arrival_ms: float = field(compare=False, default=0.0)
+    #: Resolved per-request iteration cap (request's, else quota's).
+    iteration_budget: int | None = field(compare=False, default=None)
+
+    @property
+    def tenant(self) -> str:
+        return self.request.tenant
+
+    @property
+    def best_effort(self) -> bool:
+        return self.deadline_abs == float("inf")
+
+
+class AdmissionQueue:
+    """EDF priority queue with per-tenant pending quotas."""
+
+    def __init__(
+        self,
+        quotas: dict[str, TenantQuota] | None = None,
+        default_quota: TenantQuota = DEFAULT_QUOTA,
+    ):
+        self.quotas = dict(quotas or {})
+        self.default_quota = default_quota
+        self._heap: list[AdmittedRequest] = []
+        self._pending: dict[str, int] = {}
+        self._next_seq = 0
+        #: Requests refused at the door, by error type name.
+        self.rejections: dict[str, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __repr__(self) -> str:
+        return (
+            f"AdmissionQueue({len(self._heap)} pending, "
+            f"{self._next_seq} admitted)"
+        )
+
+    def quota_for(self, tenant: str) -> TenantQuota:
+        return self.quotas.get(tenant, self.default_quota)
+
+    def pending(self, tenant: str) -> int:
+        """Requests of one tenant currently waiting."""
+        return self._pending.get(tenant, 0)
+
+    def submit(self, request: TraversalRequest, now_ms: float) -> AdmittedRequest:
+        """Admit ``request`` at simulated time ``now_ms`` or raise.
+
+        Raises :class:`QuotaExceededError` (tenant at ``max_pending``)
+        or :class:`DeadlineExceededError` (budget already spent) —
+        always before the request consumes a queue slot.
+        """
+        quota = self.quota_for(request.tenant)
+        waiting = self._pending.get(request.tenant, 0)
+        if waiting >= quota.max_pending:
+            self._reject("QuotaExceededError")
+            raise QuotaExceededError(
+                f"tenant {request.tenant!r} has {waiting} requests pending "
+                f"(quota {quota.max_pending})"
+            )
+
+        arrival = request.arrival_ms if request.arrival_ms is not None \
+            else now_ms
+        deadline = request.deadline_ms
+        if deadline is None:
+            deadline = quota.deadline_ms
+        deadline_abs = float("inf") if deadline is None \
+            else arrival + deadline
+        if deadline_abs <= max(now_ms, arrival):
+            self._reject("DeadlineExceededError")
+            raise DeadlineExceededError(
+                f"request {request.describe()} arrived with its "
+                f"{deadline:g} ms deadline budget already spent"
+            )
+
+        budget = request.iteration_budget
+        if budget is None:
+            budget = quota.iteration_budget
+        admitted = AdmittedRequest(
+            deadline_abs=deadline_abs,
+            seq=self._next_seq,
+            request=request,
+            arrival_ms=arrival,
+            iteration_budget=budget,
+        )
+        self._next_seq += 1
+        self._pending[request.tenant] = waiting + 1
+        heapq.heappush(self._heap, admitted)
+        return admitted
+
+    def pop(self) -> AdmittedRequest:
+        """The pending request with the earliest deadline (ties by
+        admission order); releases its tenant quota slot."""
+        if not self._heap:
+            raise IndexError("admission queue is empty")
+        admitted = heapq.heappop(self._heap)
+        remaining = self._pending.get(admitted.tenant, 1) - 1
+        if remaining:
+            self._pending[admitted.tenant] = remaining
+        else:
+            self._pending.pop(admitted.tenant, None)
+        return admitted
+
+    def _reject(self, error_type: str) -> None:
+        self.rejections[error_type] = self.rejections.get(error_type, 0) + 1

@@ -1,0 +1,96 @@
+"""The service-vs-session bit-identity gate.
+
+The serving layer must be a *frontend*, not a different engine: every
+engine result a service hands back has to be bit-identical — labels
+**and** simulated clock readings — to the same query on a bare
+:class:`~repro.core.session.EngineSession`.  The subtlety is state:
+warm-query timing depends on the full history a session has served
+(cache hierarchy, frontier memo, UM residency), so the reference run
+must replay *each lane's exact subsequence* on a fresh bare session, in
+dispatch order — not the global stream on one session.
+
+:func:`check_service_identity` does exactly that and returns the list
+of digest mismatches (empty = identical), using the same
+:func:`~repro.resilience.chaos.result_digest` hash the chaos gate uses.
+CI runs it via ``python -m repro.serving identity``.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import EtaGraphConfig
+from repro.core.session import EngineSession
+from repro.gpu.device import DeviceSpec, GTX_1080TI
+from repro.graph.csr import CSRGraph
+from repro.resilience.chaos import result_digest
+from repro.serving.requests import TraversalResponse, VisitRequest
+from repro.serving.service import TraversalService
+
+#: The default query stream the CLI gate serves.
+DEFAULT_QUERIES: tuple[tuple[str, int], ...] = (
+    ("bfs", 0), ("bfs", 1), ("cc", 0), ("bfs", 0), ("cc", 2), ("bfs", 3),
+)
+
+
+def replay_mismatches(
+    csr: CSRGraph,
+    responses: list[TraversalResponse],
+    config: EtaGraphConfig | None = None,
+    device: DeviceSpec = GTX_1080TI,
+) -> list[str]:
+    """Replay each lane's served subsequence on a fresh bare session and
+    describe every result-digest mismatch (empty = bit-identical)."""
+    config = config or EtaGraphConfig()
+    lanes: dict[int, list[TraversalResponse]] = {}
+    for response in responses:
+        if response.result is None:
+            continue  # shed / errored: no engine result to compare
+        lanes.setdefault(response.worker, []).append(response)
+
+    mismatches = []
+    for lane in sorted(lanes):
+        with EngineSession(csr, config, device) as session:
+            for response in lanes[lane]:
+                request = response.request
+                reference = session.query(
+                    request.problem if isinstance(request, VisitRequest)
+                    else "bfs",
+                    request.source,
+                    target=getattr(request, "target", None),
+                )
+                got = result_digest(response.result)
+                want = result_digest(reference)
+                if got != want:
+                    mismatches.append(
+                        f"lane {lane} seq {response.seq} "
+                        f"{request.describe()}: service {got} != "
+                        f"session {want}"
+                    )
+    return mismatches
+
+
+def check_service_identity(
+    csr: CSRGraph,
+    queries: tuple[tuple[str, int], ...] = DEFAULT_QUERIES,
+    config: EtaGraphConfig | None = None,
+    device: DeviceSpec = GTX_1080TI,
+    *,
+    pool_size: int = 1,
+) -> list[str]:
+    """Serve ``queries`` (no deadlines, FIFO order) through a service
+    with ``pool_size`` bare lanes and compare every engine result
+    against per-lane bare-session replays.  Returns mismatch
+    descriptions; empty means the service is bit-identical to the
+    sessions it fronts."""
+    config = config or EtaGraphConfig()
+    with TraversalService(
+        csr, config, device, pool_size=pool_size,
+    ) as service:
+        responses = service.serve([
+            VisitRequest(problem=problem, source=source)
+            for problem, source in queries
+        ])
+    bad = [r for r in responses if not r.ok]
+    if bad:
+        return [f"seq {r.seq} {r.request.describe()} failed: {r.error}"
+                for r in bad]
+    return replay_mismatches(csr, responses, config, device)

@@ -1,0 +1,362 @@
+"""Closed-loop multi-tenant load generator: ``python -m repro.bench serve``.
+
+Drives a :class:`~repro.serving.TraversalService` with a fixed tenant
+mix under a *closed loop*: each simulated client has at most one
+request outstanding, and its next arrival is its previous completion
+plus a think time — the classic serving-benchmark shape (offered load
+rises with the client count, never past the service's capacity times
+the client population).
+
+The sweep runs the same deterministic workload at increasing client
+counts and reports, per tenant and per load point, the simulated
+latency percentiles (p50/p95/p99) and the shed rate.  Because every
+quantity is simulated and every choice is seeded, the whole report is
+reproducible bit-for-bit — the numbers in ``BENCH_PR6.json`` are facts
+about the scheduler, not about the host.
+
+The headline invariant (asserted by the chaos tests, visible here):
+**shed rate is monotone in offered load** — more clients can only shed
+more, never less.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from dataclasses import dataclass, replace
+from pathlib import Path
+
+import numpy as np
+
+from repro.bench.runner import ExperimentReport
+from repro.graph import datasets
+from repro.serving.admission import TenantQuota
+from repro.serving.requests import (
+    NeighborhoodRequest,
+    PageRankRequest,
+    ShortestPathRequest,
+    StatsRequest,
+    TraversalRequest,
+    VisitRequest,
+)
+from repro.serving.service import TraversalService
+from repro.utils.tables import render_table
+
+
+@dataclass(frozen=True)
+class TenantProfile:
+    """One tenant's workload shape in the mix."""
+
+    name: str
+    #: ``(endpoint, weight)`` pairs the tenant draws requests from.
+    endpoints: tuple[tuple[str, float], ...]
+    #: Per-request simulated deadline budget (None = best-effort).
+    deadline_ms: float | None
+    #: Simulated think time between a completion and the next arrival.
+    think_ms: float
+    #: Admission quota for the tenant.
+    quota: TenantQuota
+
+
+#: The canonical three-tenant mix: a latency-sensitive interactive
+#: tenant, a deadline-free batch tenant, and an analytics tenant whose
+#: occasional PageRank is the queue's elephant.
+DEFAULT_MIX: tuple[TenantProfile, ...] = (
+    TenantProfile(
+        name="interactive",
+        endpoints=(("visit", 0.5), ("neighborhood", 0.3),
+                   ("shortest_path", 0.2)),
+        deadline_ms=1.5,
+        think_ms=0.2,
+        quota=TenantQuota(max_pending=16, deadline_ms=1.5),
+    ),
+    TenantProfile(
+        name="batch",
+        endpoints=(("visit", 0.8), ("stats", 0.2)),
+        deadline_ms=None,
+        think_ms=0.1,
+        quota=TenantQuota(max_pending=32),
+    ),
+    TenantProfile(
+        name="analytics",
+        endpoints=(("pagerank", 0.3), ("visit", 0.4), ("stats", 0.3)),
+        deadline_ms=6.0,
+        think_ms=0.5,
+        quota=TenantQuota(max_pending=16, deadline_ms=6.0),
+    ),
+)
+
+
+@dataclass(frozen=True)
+class LoadSettings:
+    """One serve-bench run's shape."""
+
+    graph: str = "slashdot"
+    pool_size: int = 2
+    #: Client counts swept (total, split round-robin over the mix).
+    client_counts: tuple[int, ...] = (3, 6, 12)
+    #: Requests each client issues per load point.
+    requests_per_client: int = 20
+    seed: int = 0
+    mix: tuple[TenantProfile, ...] = DEFAULT_MIX
+    #: Host wall-clock budget (s) for the whole sweep (None = unbounded);
+    #: load points past the budget are skipped, never truncated mid-run.
+    max_seconds: float | None = None
+
+    @classmethod
+    def quick(cls) -> "LoadSettings":
+        return cls(client_counts=(3, 6), requests_per_client=8)
+
+
+def _make_request(
+    profile: TenantProfile, endpoint: str, rng: np.random.Generator,
+    num_vertices: int, arrival_ms: float,
+) -> TraversalRequest:
+    source = int(rng.integers(0, num_vertices))
+    common = dict(
+        tenant=profile.name, deadline_ms=profile.deadline_ms,
+        arrival_ms=arrival_ms,
+    )
+    if endpoint == "visit":
+        return VisitRequest(problem="bfs", source=source, **common)
+    if endpoint == "neighborhood":
+        return NeighborhoodRequest(
+            source=source, hops=int(rng.integers(1, 4)), **common,
+        )
+    if endpoint == "shortest_path":
+        return ShortestPathRequest(
+            source=source, target=int(rng.integers(0, num_vertices)),
+            **common,
+        )
+    if endpoint == "pagerank":
+        return PageRankRequest(**common)
+    return StatsRequest(**common)
+
+
+def run_closed_loop(
+    service: TraversalService,
+    settings: LoadSettings,
+    clients: int,
+) -> list:
+    """Run one load point: ``clients`` closed-loop clients over the
+    tenant mix, each issuing ``requests_per_client`` requests.  Returns
+    every terminal response."""
+    mix = settings.mix
+    rng = np.random.default_rng((settings.seed, clients))
+    n = service.csr.num_vertices
+    # Client i belongs to tenant i % len(mix); each keeps one request in
+    # flight.  next_arrival starts staggered so lanes fill gradually.
+    state = [
+        {"profile": mix[i % len(mix)],
+         "next_ms": 0.05 * i,
+         "left": settings.requests_per_client}
+        for i in range(clients)
+    ]
+    responses = []
+    while True:
+        live = [c for c in state if c["left"] > 0]
+        if not live:
+            break
+        client = min(live, key=lambda c: c["next_ms"])
+        profile = client["profile"]
+        names = [name for name, _ in profile.endpoints]
+        weights = np.array([w for _, w in profile.endpoints])
+        endpoint = str(rng.choice(names, p=weights / weights.sum()))
+        request = _make_request(
+            profile, endpoint, rng, n, client["next_ms"],
+        )
+        # Typed failures (unreachable path target, spent deadline, ...)
+        # come back as terminal responses, never as raises.
+        response = service.call(request)
+        responses.append(response)
+        client["left"] -= 1
+        client["next_ms"] = max(
+            response.finish_ms, client["next_ms"],
+        ) + profile.think_ms
+    return responses
+
+
+def _tenant_stats(responses: list, tenant: str) -> dict:
+    mine = [r for r in responses if r.tenant == tenant]
+    served = [r for r in mine if r.ok]
+    latencies = np.array([r.latency_ms for r in served]) \
+        if served else np.array([0.0])
+    shed = sum(1 for r in mine if r.shed)
+    return {
+        "requests": len(mine),
+        "served": len(served),
+        "shed": shed,
+        "shed_rate": shed / max(len(mine), 1),
+        "errors": sum(1 for r in mine if not r.ok and not r.shed),
+        "p50_ms": float(np.percentile(latencies, 50)),
+        "p95_ms": float(np.percentile(latencies, 95)),
+        "p99_ms": float(np.percentile(latencies, 99)),
+        "degraded": sum(1 for r in mine if r.degraded),
+    }
+
+
+def run_serve(
+    quick: bool = False, settings: LoadSettings | None = None,
+) -> ExperimentReport:
+    """The full load sweep; returns a saveable report.
+
+    ``data`` maps ``clients_<n>`` to per-tenant latency/shed stats plus
+    a ``total`` aggregate; ``sweep`` holds the shed-rate-vs-load curve
+    the monotonicity claim is read off, and ``wall_s`` the host cost of
+    the whole run (a ``wall_`` metric: compared only loosely).
+    """
+    if settings is None:
+        settings = LoadSettings.quick() if quick else LoadSettings()
+    csr, _ = datasets.load(settings.graph)
+    quotas = {p.name: p.quota for p in settings.mix}
+
+    data: dict = {"settings": {
+        "graph": settings.graph,
+        "pool_size": settings.pool_size,
+        "client_counts": list(settings.client_counts),
+        "requests_per_client": settings.requests_per_client,
+        "seed": settings.seed,
+        "tenants": [p.name for p in settings.mix],
+    }}
+    sweep = []
+    rows = []
+    wall_total = 0.0
+    for clients in settings.client_counts:
+        if settings.max_seconds is not None \
+                and wall_total >= settings.max_seconds:
+            data.setdefault("skipped", []).append(clients)
+            continue
+        t0 = time.perf_counter()
+        with TraversalService(
+            csr, pool_size=settings.pool_size, quotas=quotas,
+        ) as service:
+            responses = run_closed_loop(service, settings, clients)
+        wall = time.perf_counter() - t0
+        wall_total += wall
+
+        point: dict = {}
+        for profile in settings.mix:
+            stats = _tenant_stats(responses, profile.name)
+            point[profile.name] = stats
+            rows.append([
+                clients, profile.name, stats["requests"],
+                f"{stats['p50_ms']:.3f}", f"{stats['p95_ms']:.3f}",
+                f"{stats['p99_ms']:.3f}",
+                f"{100 * stats['shed_rate']:.1f}%",
+            ])
+        total_shed = sum(point[p.name]["shed"] for p in settings.mix)
+        total_requests = sum(
+            point[p.name]["requests"] for p in settings.mix
+        )
+        point["total"] = {
+            "requests": total_requests,
+            "shed": total_shed,
+            "shed_rate": total_shed / max(total_requests, 1),
+            "wall_s": wall,
+        }
+        data[f"clients_{clients}"] = point
+        sweep.append({
+            "clients": clients,
+            "shed_rate": point["total"]["shed_rate"],
+        })
+    data["sweep"] = sweep
+    data["wall_s"] = wall_total
+
+    text = render_table(
+        ["clients", "tenant", "requests", "p50 ms", "p95 ms", "p99 ms",
+         "shed"],
+        rows,
+        title=(
+            f"Closed-loop serve: {settings.graph}, "
+            f"{settings.pool_size} lanes, "
+            f"{settings.requests_per_client} requests/client"
+        ),
+    )
+    return ExperimentReport(
+        experiment="serve",
+        title="Multi-tenant traversal service under closed-loop load",
+        text=text,
+        data=data,
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench serve",
+        description="Closed-loop multi-tenant load against the "
+        "traversal service.",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="fewer clients/requests (CI-sized run)",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_PR6.json",
+        help="write the report here (default BENCH_PR6.json; '-' skips)",
+    )
+    parser.add_argument(
+        "--json-dir", default=None,
+        help="also write <dir>/serve.json for `repro.bench compare`",
+    )
+    parser.add_argument(
+        "--graph", default=None, help="dataset to serve (default slashdot)",
+    )
+    parser.add_argument(
+        "--pool-size", type=int, default=None, help="worker lanes",
+    )
+    parser.add_argument(
+        "--clients", default=None,
+        help="comma-separated client counts to sweep (default 3,6,12)",
+    )
+    parser.add_argument(
+        "--requests", type=int, default=None,
+        help="requests per client per load point",
+    )
+    parser.add_argument(
+        "--seconds", type=float, default=None,
+        help="host wall-clock budget for the sweep (smoke runs)",
+    )
+    parser.add_argument("--seed", type=int, default=None)
+    args = parser.parse_args(argv)
+
+    settings = LoadSettings.quick() if args.quick else LoadSettings()
+    overrides: dict = {}
+    if args.graph is not None:
+        overrides["graph"] = args.graph
+    if args.pool_size is not None:
+        overrides["pool_size"] = args.pool_size
+    if args.clients is not None:
+        overrides["client_counts"] = tuple(
+            int(c) for c in args.clients.split(",") if c.strip()
+        )
+    if args.requests is not None:
+        overrides["requests_per_client"] = args.requests
+    if args.seconds is not None:
+        overrides["max_seconds"] = args.seconds
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if overrides:
+        settings = replace(settings, **overrides)
+
+    report = run_serve(quick=args.quick, settings=settings)
+    print(report.text)
+
+    from repro.bench.export import report_to_dict, save_report
+
+    if args.out and args.out != "-":
+        Path(args.out).write_text(
+            json.dumps(report_to_dict(report), indent=2)
+        )
+        print(f"wrote {args.out}", file=sys.stderr)
+    if args.json_dir:
+        out_dir = Path(args.json_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        save_report(report, out_dir / "serve.json")
+        print(f"wrote {out_dir / 'serve.json'}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

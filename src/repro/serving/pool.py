@@ -1,0 +1,177 @@
+"""Worker pool: resident engine sessions as schedulable lanes.
+
+A :class:`SessionPool` owns ``size`` resident sessions over one graph —
+bare :class:`~repro.core.session.EngineSession` workers by default, or
+:class:`~repro.resilience.session.ResilientSession` workers when the
+service runs with a fault plan or retry policy (the degradation ladder
+then rides under every request).  Each worker is a *lane* on the
+service's simulated clock: :attr:`PoolWorker.busy_until_ms` is when its
+current work finishes, and the dispatcher always picks the lane that
+frees first — the multi-queue analogue of the engine's own single
+simulated timeline.
+
+Checkout/checkin is explicit so the pool is also usable without the
+service: :meth:`checkout` hands out the least-busy idle worker and
+raises :class:`~repro.errors.QuotaExceededError` when every lane is
+already out; :meth:`checkin` returns one.  After :meth:`close`, any
+checkout raises :class:`~repro.errors.SessionClosedError`.
+
+Sessions are *stateful* in simulated time — warm caches and frontier
+memos mean a query's timing depends on the whole history its worker has
+served.  The pool therefore never rebuilds or shuffles workers: lane
+``i`` keeps its session for the pool's lifetime, which is what makes a
+served stream replayable (see :mod:`repro.serving.identity`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import EtaGraphConfig
+from repro.core.session import EngineSession
+from repro.errors import QuotaExceededError, SessionClosedError
+from repro.gpu.device import DeviceSpec, GTX_1080TI
+from repro.graph.csr import CSRGraph
+from repro.resilience.faults import FaultPlan
+from repro.resilience.session import ResilientSession, RetryPolicy
+
+
+@dataclass
+class PoolWorker:
+    """One lane: a resident session plus its simulated-clock position."""
+
+    index: int
+    session: EngineSession | ResilientSession
+    #: Simulated time at which this lane's current work completes.
+    busy_until_ms: float = 0.0
+    #: Requests this lane has served (successfully or not).
+    served: int = 0
+    #: Whether :attr:`session` is a :class:`ResilientSession`.
+    resilient: bool = False
+    #: Whether the lane is currently checked out.
+    checked_out: bool = field(default=False, repr=False)
+
+    def __repr__(self) -> str:
+        return (
+            f"PoolWorker({self.index}, busy_until {self.busy_until_ms:.3f} "
+            f"ms, {self.served} served)"
+        )
+
+
+class SessionPool:
+    """``size`` resident sessions over one graph, dispatched least-busy
+    first."""
+
+    def __init__(
+        self,
+        csr: CSRGraph,
+        config: EtaGraphConfig | None = None,
+        device: DeviceSpec = GTX_1080TI,
+        *,
+        size: int = 2,
+        fault_plan: FaultPlan | None = None,
+        policy: RetryPolicy | None = None,
+        resilient: bool | None = None,
+    ):
+        if size < 1:
+            raise QuotaExceededError(f"pool size must be >= 1, got {size}")
+        self.csr = csr
+        self.config = config or EtaGraphConfig()
+        self.device = device
+        self.policy = policy or RetryPolicy()
+        # A fault plan or explicit policy needs the resilient wrapper;
+        # otherwise bare sessions keep the no-overhead fast path.
+        if resilient is None:
+            resilient = fault_plan is not None or policy is not None
+        if fault_plan is not None and not resilient:
+            raise QuotaExceededError(
+                "a fault plan requires resilient workers"
+            )
+        self.resilient = resilient
+        self.workers: list[PoolWorker] = []
+        for index in range(size):
+            if resilient:
+                session = ResilientSession(
+                    csr, self.config, device,
+                    # Each lane gets its own injector state: the plan's
+                    # schedule replays identically per worker.
+                    fault_plan=fault_plan,
+                    policy=self.policy,
+                )
+            else:
+                session = EngineSession(csr, self.config, device)
+            self.workers.append(
+                PoolWorker(index=index, session=session, resilient=resilient)
+            )
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        return len(self.workers)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Close every worker session; the pool is dead afterwards."""
+        if self._closed:
+            return
+        for worker in self.workers:
+            worker.session.close()
+        self._closed = True
+
+    def __enter__(self) -> "SessionPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else (
+            f"{sum(w.served for w in self.workers)} served"
+        )
+        kind = "resilient" if self.resilient else "bare"
+        return f"SessionPool({self.size} {kind} workers, {state})"
+
+    # ------------------------------------------------------------------
+    # Checkout / checkin
+    # ------------------------------------------------------------------
+
+    def checkout(self) -> PoolWorker:
+        """The idle lane that frees first (ties break on lane index).
+
+        Raises :class:`SessionClosedError` after :meth:`close` and
+        :class:`QuotaExceededError` when every lane is checked out.
+        """
+        if self._closed:
+            raise SessionClosedError("session pool is closed")
+        idle = [w for w in self.workers if not w.checked_out]
+        if not idle:
+            raise QuotaExceededError(
+                f"all {self.size} pool workers are checked out"
+            )
+        worker = min(idle, key=lambda w: (w.busy_until_ms, w.index))
+        worker.checked_out = True
+        return worker
+
+    def checkin(self, worker: PoolWorker) -> None:
+        """Return a checked-out lane to the pool."""
+        if worker not in self.workers:
+            raise QuotaExceededError(
+                f"worker {worker.index} does not belong to this pool"
+            )
+        if not worker.checked_out:
+            raise QuotaExceededError(
+                f"worker {worker.index} is not checked out"
+            )
+        worker.checked_out = False
+
+    @property
+    def idle_at_ms(self) -> float:
+        """Earliest simulated time at which some lane is free."""
+        return min(w.busy_until_ms for w in self.workers)

@@ -1,0 +1,541 @@
+"""The multi-tenant traversal service.
+
+:class:`TraversalService` is the request/response frontend over one
+resident graph: typed requests (:mod:`repro.serving.requests`) go
+through per-tenant admission (:mod:`repro.serving.admission`), wait in
+an EDF queue, and are dispatched onto the least-busy lane of a resident
+session pool (:mod:`repro.serving.pool`).  The whole schedule runs on
+the *simulated* clock — arrivals, queueing, deadlines, lane busy times
+and service times are all simulated milliseconds, so a served workload
+is a deterministic, replayable function of the submitted requests.
+
+SLO semantics:
+
+* **Admission** rejects over-quota tenants and already-expired
+  deadlines with typed errors before any work starts.
+* **Shedding**: when a request's earliest possible start (its lane's
+  free time) is at or past its absolute deadline, it is shed — a
+  terminal :class:`~repro.serving.requests.TraversalResponse` with
+  ``shed=True`` and a recorded
+  :class:`~repro.errors.DeadlineExceededError`, zero worker time spent.
+* **Degradation**: with resilient workers (a fault plan or retry
+  policy), every request rides the device → UM → zero-copy → CPU
+  ladder; the response records the final placement and whether it was
+  degraded.
+
+Bit-identity contract: with bare workers and no deadlines, the engine
+results a service returns are bit-identical (labels *and* simulated
+clocks) to the same query stream on bare ``EngineSession`` objects —
+per lane, in dispatch order.  :mod:`repro.serving.identity` gates this.
+
+Telemetry: ``telemetry=True`` gives the service a
+:class:`~repro.observability.Tracer` recording one ``request`` span per
+dispatched request (tenant/endpoint/worker attrs) and a ``shed``
+instant per shed, all in the ``service`` category at absolute simulated
+times.  Per-tenant counters and latency histograms land in
+:attr:`TraversalService.metrics`, with cardinality bounded by the
+registry's ``max_series``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, replace
+
+import numpy as np
+
+from repro.core.config import EtaGraphConfig
+from repro.errors import ConfigError, DeadlineExceededError, ReproError, \
+    SessionClosedError
+from repro.gpu.device import DeviceSpec, GTX_1080TI
+from repro.graph.csr import CSRGraph
+from repro.observability.metrics import MetricsRegistry
+from repro.resilience.faults import FaultPlan
+from repro.resilience.session import _MODE_RUNGS, RetryPolicy
+from repro.serving.admission import AdmissionQueue, AdmittedRequest, \
+    TenantQuota
+from repro.serving.pool import PoolWorker, SessionPool
+from repro.serving.requests import (
+    NeighborhoodRequest,
+    PageRankRequest,
+    ShortestPathRequest,
+    StatsRequest,
+    TraversalRequest,
+    TraversalResponse,
+    VisitRequest,
+)
+
+
+class TraversalService:
+    """Request/response graph traversal over a resident session pool.
+
+    One-shot use::
+
+        service = TraversalService(graph, pool_size=2)
+        resp = service.call(VisitRequest(problem="bfs", source=0))
+        resp.labels          # bit-exact BFS levels
+        resp.latency_ms      # simulated queue + service time
+
+    Batch use: :meth:`serve` admits a request batch (converting typed
+    admission failures into shed/error responses) and drains the queue
+    in EDF order; responses come back in the batch's submission order.
+    """
+
+    def __init__(
+        self,
+        csr: CSRGraph,
+        config: EtaGraphConfig | None = None,
+        device: DeviceSpec = GTX_1080TI,
+        *,
+        pool_size: int = 2,
+        quotas: dict[str, TenantQuota] | None = None,
+        default_quota: TenantQuota | None = None,
+        fault_plan: FaultPlan | None = None,
+        policy: RetryPolicy | None = None,
+        resilient: bool | None = None,
+        telemetry: bool = False,
+        max_series: int = 64,
+    ):
+        self.csr = csr
+        self.config = config or EtaGraphConfig()
+        self.device = device
+        self.pool = SessionPool(
+            csr, self.config, device, size=pool_size,
+            fault_plan=fault_plan, policy=policy, resilient=resilient,
+        )
+        self.queue = AdmissionQueue(
+            quotas=quotas,
+            default_quota=default_quota or TenantQuota(),
+        )
+        #: The service's simulated clock: the latest instant it has
+        #: observed (arrival or completion).  Never moves backwards.
+        self.clock_ms = 0.0
+        #: Per-tenant counters/histograms (bounded cardinality).
+        self.metrics = MetricsRegistry(max_series=max_series)
+        self.requests_served = 0
+        self.requests_shed = 0
+        self.tracer = None
+        if telemetry:
+            from repro.observability.spans import Tracer
+
+            self.tracer = Tracer()
+        self._fault_plan = fault_plan
+        #: Lazy single-lane pool for shortest-path requests: the same
+        #: configuration with parent tracking on (path reconstruction
+        #: needs per-vertex parent pointers, which the main pool's
+        #: sessions don't record).
+        self._path_pool: SessionPool | None = None
+        self._stats_cache: dict | None = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut the service down: close every worker session.  Requests
+        submitted afterwards raise
+        :class:`~repro.errors.SessionClosedError`; pending admitted
+        requests are discarded."""
+        if self._closed:
+            return
+        self.pool.close()
+        if self._path_pool is not None:
+            self._path_pool.close()
+        self._closed = True
+
+    def __enter__(self) -> "TraversalService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else (
+            f"{self.requests_served} served, {self.requests_shed} shed, "
+            f"{len(self.queue)} pending"
+        )
+        return f"TraversalService({self.csr!r}, {self.pool.size} lanes, {state})"
+
+    def trace(self):
+        """The service-track :class:`~repro.observability.Trace` so far
+        (``None`` without ``telemetry=True``)."""
+        if self.tracer is None:
+            return None
+        return self.tracer.trace(service="etagraph", lanes=self.pool.size)
+
+    def metrics_snapshot(self) -> dict:
+        """Everything the service measures, as one
+        :meth:`~repro.observability.MetricsRegistry.snapshot` dict."""
+        from repro.observability.metrics import unified_snapshot
+
+        return unified_snapshot(service=self)
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+
+    def submit(self, request: TraversalRequest) -> AdmittedRequest:
+        """Validate and admit one request (no work yet); raises typed
+        errors on malformed requests, exhausted quotas and spent
+        deadlines."""
+        if self._closed:
+            raise SessionClosedError("traversal service is closed")
+        if not isinstance(request, TraversalRequest):
+            raise ConfigError(
+                f"expected a TraversalRequest, got {type(request).__name__}"
+            )
+        request.validate(self.csr)
+        if request.arrival_ms is not None:
+            self.clock_ms = max(self.clock_ms, request.arrival_ms)
+        return self.queue.submit(request, self.clock_ms)
+
+    def serve(
+        self, requests: list[TraversalRequest] | tuple[TraversalRequest, ...],
+    ) -> list[TraversalResponse]:
+        """Admit a batch, drain the queue, and return one terminal
+        response per batch request, in submission order.
+
+        Typed admission failures become responses (``shed=True`` for
+        spent deadlines, ``ok=False`` otherwise) instead of raising, so
+        a batch always gets a full set of outcomes.  Requests already
+        pending from earlier :meth:`submit` calls are dispatched too
+        (the queue drains fully); their responses are appended after
+        the batch's.
+        """
+        if self._closed:
+            raise SessionClosedError("traversal service is closed")
+        slots: list[tuple[int | None, TraversalResponse | None]] = []
+        batch_seqs: set[int] = set()
+        for request in requests:
+            try:
+                admitted = self.submit(request)
+            except SessionClosedError:
+                raise
+            except ReproError as exc:
+                slots.append((None, self._refused(request, exc)))
+            else:
+                batch_seqs.add(admitted.seq)
+                slots.append((admitted.seq, None))
+        drained = {r.seq: r for r in self.drain()}
+        out = [
+            response if response is not None else drained[seq]
+            for seq, response in slots
+        ]
+        out.extend(
+            drained[seq] for seq in sorted(drained)
+            if seq not in batch_seqs
+        )
+        return out
+
+    def call(self, request: TraversalRequest) -> TraversalResponse:
+        """Submit one request and serve it to completion."""
+        return self.serve([request])[0]
+
+    def drain(self) -> list[TraversalResponse]:
+        """Dispatch every pending admitted request in EDF order; returns
+        their terminal responses (dispatch order)."""
+        if self._closed:
+            raise SessionClosedError("traversal service is closed")
+        responses = []
+        while len(self.queue):
+            responses.append(self._dispatch(self.queue.pop()))
+        return responses
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+
+    def _dispatch(self, adm: AdmittedRequest) -> TraversalResponse:
+        worker = self.pool.checkout()
+        try:
+            start = max(worker.busy_until_ms, adm.arrival_ms)
+            if start >= adm.deadline_abs:
+                return self._shed(adm, worker, start)
+            return self._run(adm, worker, start)
+        finally:
+            self.pool.checkin(worker)
+
+    def _shed(
+        self, adm: AdmittedRequest, worker: PoolWorker, at_ms: float,
+    ) -> TraversalResponse:
+        """Load shedding: the deadline expired while queued — record a
+        typed refusal without spending any worker time."""
+        error = DeadlineExceededError(
+            f"request {adm.request.describe()} shed: deadline "
+            f"{adm.deadline_abs:.3f} ms passed before dispatch "
+            f"(earliest start {at_ms:.3f} ms)"
+        )
+        self.requests_shed += 1
+        self.clock_ms = max(self.clock_ms, at_ms)
+        self.metrics.inc("service.sheds", tenant=adm.tenant,
+                         endpoint=adm.request.endpoint)
+        if self.tracer is not None:
+            self.tracer.emit(
+                "shed", "service", 0.0, t_ms=at_ms,
+                tenant=adm.tenant, endpoint=adm.request.endpoint,
+                seq=adm.seq, worker=worker.index,
+            )
+        return TraversalResponse(
+            request=adm.request, seq=adm.seq, ok=False,
+            error=f"{type(error).__name__}: {error}", shed=True,
+            arrival_ms=adm.arrival_ms, start_ms=at_ms, finish_ms=at_ms,
+            worker=worker.index,
+        )
+
+    def _refused(
+        self, request: TraversalRequest, exc: ReproError,
+    ) -> TraversalResponse:
+        """An admission-time refusal as a terminal response (batch path)."""
+        shed = isinstance(exc, DeadlineExceededError)
+        if shed:
+            self.requests_shed += 1
+            self.metrics.inc("service.sheds", tenant=request.tenant,
+                             endpoint=request.endpoint)
+        else:
+            self.metrics.inc("service.errors", tenant=request.tenant,
+                             type=type(exc).__name__)
+        now = self.clock_ms
+        return TraversalResponse(
+            request=request, seq=-1, ok=False,
+            error=f"{type(exc).__name__}: {exc}", shed=shed,
+            arrival_ms=now, start_ms=now, finish_ms=now,
+        )
+
+    def _run(
+        self, adm: AdmittedRequest, worker: PoolWorker, start: float,
+    ) -> TraversalResponse:
+        request = adm.request
+        response = TraversalResponse(
+            request=request, seq=adm.seq, ok=True,
+            arrival_ms=adm.arrival_ms, start_ms=start,
+            worker=worker.index,
+            placement=_MODE_RUNGS[self.config.memory_mode],
+            attempts=1,
+        )
+        service_ms = 0.0
+        try:
+            service_ms = self._execute(adm, worker, response)
+        except ReproError as exc:
+            # A typed failure is a terminal answer: the lane is released
+            # at its dispatch position (failed work spends no simulated
+            # device time that a later request would queue behind).
+            response.ok = False
+            response.error = f"{type(exc).__name__}: {exc}"
+            response.placement = ""
+            self.metrics.inc("service.errors", tenant=request.tenant,
+                             type=type(exc).__name__)
+        finish = start + service_ms
+        response.finish_ms = finish
+        worker.busy_until_ms = max(worker.busy_until_ms, finish)
+        worker.served += 1
+        self.clock_ms = max(self.clock_ms, finish)
+        self.requests_served += 1
+        self.metrics.inc("service.requests", tenant=request.tenant,
+                         endpoint=request.endpoint)
+        self.metrics.observe("service.latency_ms", response.latency_ms,
+                             tenant=request.tenant, endpoint=request.endpoint)
+        self.metrics.observe("service.queue_ms", response.queue_ms,
+                             tenant=request.tenant)
+        if response.degraded:
+            self.metrics.inc("service.degraded", tenant=request.tenant)
+        if self.tracer is not None:
+            self.tracer.emit(
+                "request", "service", finish - start, t_ms=start,
+                tenant=request.tenant, endpoint=request.endpoint,
+                seq=adm.seq, worker=worker.index,
+                ok=response.ok, placement=response.placement,
+                queue_ms=response.queue_ms,
+            )
+        return response
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+
+    def _execute(
+        self, adm: AdmittedRequest, worker: PoolWorker,
+        response: TraversalResponse,
+    ) -> float:
+        """Run one endpoint on ``worker``; fills the response payload and
+        returns the simulated service time (ms)."""
+        request = adm.request
+        if isinstance(request, VisitRequest):
+            return self._run_visit(
+                worker, response, request.problem, request.source,
+                target=request.target, iteration_budget=adm.iteration_budget,
+            )
+        if isinstance(request, NeighborhoodRequest):
+            return self._run_neighborhood(worker, response, request, adm)
+        if isinstance(request, ShortestPathRequest):
+            return self._run_shortest_path(response, request, adm)
+        if isinstance(request, PageRankRequest):
+            return self._run_pagerank(response, request, adm)
+        if isinstance(request, StatsRequest):
+            return self._run_stats(response)
+        raise ConfigError(
+            f"no endpoint for request type {type(request).__name__}"
+        )
+
+    def _run_visit(
+        self, worker: PoolWorker, response: TraversalResponse,
+        problem: str, source: int, *, target: int | None,
+        iteration_budget: int | None,
+    ) -> float:
+        """The traversal core shared by visit and neighborhood: one
+        engine query on the worker's resident session, bit-identical to
+        the same query on a bare session."""
+        if worker.resilient:
+            policy = worker.session.policy
+            if iteration_budget is not None:
+                policy = replace(policy, max_iterations=iteration_budget)
+            outcome = worker.session.run(
+                problem, source, target=target, policy=policy,
+            )
+            result = outcome.result
+            response.placement = outcome.final_placement
+            response.degraded = outcome.degraded
+            response.attempts = outcome.num_attempts
+            response.faults_seen = list(outcome.faults_seen)
+        else:
+            from repro.errors import ConvergenceError
+
+            try:
+                result = worker.session.query(
+                    problem, source, target=target,
+                    max_iterations=iteration_budget,
+                )
+            except ConvergenceError as exc:
+                if iteration_budget is not None:
+                    # Budget exhaustion is an SLO outcome, not an engine
+                    # defect — same mapping the resilient path applies.
+                    raise DeadlineExceededError(
+                        f"query exceeded its iteration budget of "
+                        f"{iteration_budget}"
+                    ) from exc
+                raise
+        response.result = result
+        response.value = result.labels
+        return result.total_ms + result.d2h_ms
+
+    def _run_neighborhood(
+        self, worker: PoolWorker, response: TraversalResponse,
+        request: NeighborhoodRequest, adm: AdmittedRequest,
+    ) -> float:
+        service_ms = self._run_visit(
+            worker, response, "bfs", request.source,
+            target=None, iteration_budget=adm.iteration_budget,
+        )
+        levels = response.result.labels
+        within = np.flatnonzero(
+            np.isfinite(levels) & (levels <= request.hops)
+        )
+        response.value = {
+            "vertices": within,
+            "levels": levels[within].astype(np.int64),
+        }
+        return service_ms
+
+    def _run_shortest_path(
+        self, response: TraversalResponse, request: ShortestPathRequest,
+        adm: AdmittedRequest,
+    ) -> float:
+        from repro.algorithms.paths import reconstruct_path
+
+        pool = self._path_pool
+        if pool is None:
+            pool = self._path_pool = SessionPool(
+                self.csr, self.config.with_track_parents(), self.device,
+                size=1, fault_plan=self._fault_plan,
+                policy=self.pool.policy if self.pool.resilient else None,
+                resilient=self.pool.resilient,
+            )
+        worker = pool.checkout()
+        try:
+            service_ms = self._run_visit(
+                worker, response, "bfs", request.source,
+                target=request.target,
+                iteration_budget=adm.iteration_budget,
+            )
+            worker.busy_until_ms = max(
+                worker.busy_until_ms, response.start_ms + service_ms,
+            )
+            worker.served += 1
+        finally:
+            pool.checkin(worker)
+        parents = response.result.extras.get("parents")
+        if parents is None:
+            # The CPU-oracle rung served this one: the exact host
+            # traversal reports levels, not parents — reconstruct the
+            # path from the levels instead.
+            path = _path_from_levels(
+                self.csr, response.result.labels,
+                request.source, request.target,
+            )
+        else:
+            path = reconstruct_path(parents, request.source, request.target)
+        response.value = path
+        return service_ms
+
+    def _run_pagerank(
+        self, response: TraversalResponse, request: PageRankRequest,
+        adm: AdmittedRequest,
+    ) -> float:
+        from repro.core.pagerank import delta_pagerank
+
+        pr = delta_pagerank(
+            self.csr,
+            damping=request.damping,
+            tolerance=request.tolerance,
+            max_iterations=(
+                adm.iteration_budget
+                if adm.iteration_budget is not None
+                else self.config.max_iterations
+            ),
+            config=self.config,
+            device=self.device,
+        )
+        response.result = pr
+        response.value = pr.ranks
+        return pr.total_ms
+
+    def _run_stats(self, response: TraversalResponse) -> float:
+        if self._stats_cache is None:
+            from repro.graph.properties import GraphSummary
+
+            self._stats_cache = asdict(GraphSummary.of(self.csr))
+        response.value = dict(self._stats_cache)
+        # Served from precomputed metadata: no simulated device time.
+        return 0.0
+
+
+def _path_from_levels(
+    csr: CSRGraph, levels: np.ndarray, source: int, target: int,
+) -> list[int]:
+    """Reconstruct a minimum-hop path from BFS levels alone (the
+    parents-free fallback).  Walks backwards from the target, picking at
+    each step a predecessor one level closer that really has the edge."""
+    from repro.algorithms.paths import PathError
+
+    if not np.isfinite(levels[target]):
+        raise PathError(f"vertex {target} was not reached from {source}")
+    path = [int(target)]
+    v = int(target)
+    offsets, cols = csr.row_offsets, csr.column_indices
+    while v != source:
+        want = levels[v] - 1
+        candidates = np.flatnonzero(levels == want)
+        step = None
+        for u in candidates:
+            if v in cols[offsets[u]:offsets[u + 1]]:
+                step = int(u)
+                break
+        if step is None:
+            raise PathError(f"corrupt level structure at vertex {v}")
+        path.append(step)
+        v = step
+    path.reverse()
+    return path

@@ -6,6 +6,7 @@ Usage::
     python -m repro.testing --cases 250 --seed 7
     python -m repro.testing --fuzz-seconds 30   # time-budgeted smoke run
     python -m repro.testing --problems bfs cc --baselines gunrock tigr
+    python -m repro.testing --engine etagraph-service --cases 25
     python -m repro.testing --chaos --plans 200 # fault-injection fuzzing
     python -m repro.testing --chaos --duration 30
 
@@ -25,7 +26,11 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.testing.differential import ALL_BASELINES, ALL_PROBLEMS
+from repro.testing.differential import (
+    ALL_BASELINES,
+    ALL_PROBLEMS,
+    EXTRA_ENGINE_FACTORIES,
+)
 from repro.testing.fuzz import run_fuzz
 
 
@@ -51,6 +56,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--baselines", nargs="+", default=list(ALL_BASELINES),
                         choices=ALL_BASELINES,
                         help="baseline frameworks to include")
+    parser.add_argument("--engine", action="append", default=[],
+                        dest="engines",
+                        choices=sorted(EXTRA_ENGINE_FACTORIES),
+                        help="extra serving path to fuzz alongside the "
+                             "engine (repeatable): etagraph-session runs "
+                             "each case on a warm resident session, "
+                             "etagraph-service through the multi-tenant "
+                             "serving frontend")
     parser.add_argument("--no-metamorphic", action="store_true",
                         help="skip the metamorphic checks")
     parser.add_argument("--chaos", action="store_true",
@@ -100,6 +113,7 @@ def main(argv: list[str] | None = None) -> int:
         seed=args.seed,
         problems=tuple(args.problems),
         baselines=tuple(args.baselines),
+        engines=tuple(args.engines),
         metamorphic_every=0 if args.no_metamorphic else 4,
         log=log,
     )

@@ -222,6 +222,51 @@ def session_engine(
     return run
 
 
+def service_engine(
+    config: EtaGraphConfig | None = None,
+    device: DeviceSpec = GTX_1080TI,
+    *,
+    pool_size: int = 2,
+    warm_queries: int = 1,
+) -> EngineFn:
+    """EtaGraph behind the full serving frontend (:mod:`repro.serving`).
+
+    Each case stands up a :class:`~repro.serving.TraversalService`,
+    warms its lanes with ``warm_queries`` other-source queries, then
+    serves the query under test as a ``visit`` request — so admission,
+    EDF dispatch and pool routing all sit between the oracle and the
+    labels, and any divergence the frontend introduced shows up as a
+    differential failure.
+    """
+    from repro.serving import TraversalService, VisitRequest
+
+    def run(csr: CSRGraph, problem_name: str, source: int) -> np.ndarray:
+        requests = []
+        if csr.num_vertices > 1:
+            requests = [
+                VisitRequest(
+                    problem=problem_name,
+                    source=(source + 1 + i) % csr.num_vertices,
+                    tenant="warm",
+                )
+                for i in range(warm_queries)
+            ]
+        requests.append(
+            VisitRequest(problem=problem_name, source=source, tenant="probe")
+        )
+        with TraversalService(
+            csr, config, device, pool_size=pool_size,
+        ) as service:
+            response = service.serve(requests)[-1]
+        if not response.ok:
+            raise AssertionError(
+                f"service refused the probe query: {response.error}"
+            )
+        return response.labels
+
+    return run
+
+
 def baseline_engine(name: str, device: DeviceSpec = GTX_1080TI) -> EngineFn:
     """A Table III baseline as a pluggable differential engine."""
     from repro.baselines import get_framework
@@ -231,6 +276,16 @@ def baseline_engine(name: str, device: DeviceSpec = GTX_1080TI) -> EngineFn:
         return fw.run(csr, get_problem(problem_name), source).labels
 
     return run
+
+
+#: Named extra-engine factories (``config -> EngineFn``) the fuzz CLI
+#: enables by name: ``etagraph-session`` serves each case through a warm
+#: topology-resident session, ``etagraph-service`` through the full
+#: multi-tenant serving frontend.
+EXTRA_ENGINE_FACTORIES: dict = {
+    "etagraph-session": session_engine,
+    "etagraph-service": service_engine,
+}
 
 
 def run_differential_case(

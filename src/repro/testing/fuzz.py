@@ -134,6 +134,7 @@ def run_fuzz(
     seed: int = 0,
     problems=ALL_PROBLEMS,
     baselines=ALL_BASELINES,
+    engines: tuple[str, ...] = (),
     metamorphic_every: int = 4,
     log=None,
 ) -> FuzzReport:
@@ -142,10 +143,21 @@ def run_fuzz(
     Every case is a differential comparison of EtaGraph (invariant checks
     on) and every baseline against the CPU oracle; every
     ``metamorphic_every``-th case additionally checks one random
-    metamorphic relation.  Failures never stop the sweep — they are
-    collected with their case number so ``seed`` + case count replays
-    them.
+    metamorphic relation.  ``engines`` names extra serving paths from
+    :data:`~repro.testing.differential.EXTRA_ENGINE_FACTORIES`
+    (``etagraph-session``, ``etagraph-service``) that join every case
+    under the case's random configuration.  Failures never stop the
+    sweep — they are collected with their case number so ``seed`` +
+    case count replays them.
     """
+    from repro.testing.differential import EXTRA_ENGINE_FACTORIES
+
+    for name in engines:
+        if name not in EXTRA_ENGINE_FACTORIES:
+            raise ValueError(
+                f"unknown extra engine {name!r}; "
+                f"known: {sorted(EXTRA_ENGINE_FACTORIES)}"
+            )
     if max_cases is None and max_seconds is None:
         max_cases = 100
     rng = np.random.default_rng(seed)
@@ -165,8 +177,13 @@ def run_fuzz(
         source = int(rng.integers(graph.num_vertices))
         config = random_config(rng)
 
+        extra = {
+            name: EXTRA_ENGINE_FACTORIES[name](config)
+            for name in engines
+        }
         diff_report: DifferentialReport = run_differential_case(
             graph, problem, source, config=config, baselines=baselines,
+            extra_engines=extra or None,
         )
         report.cases += 1
         report.engine_runs += len(diff_report.engines)

@@ -1,0 +1,401 @@
+"""Unit tests of the serving layer: admission, EDF scheduling, the
+worker pool, endpoint behavior and service telemetry."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import EtaGraphConfig
+from repro.errors import (
+    ConfigError,
+    DeadlineExceededError,
+    InvalidLaunchError,
+    QuotaExceededError,
+    SessionClosedError,
+)
+from repro.serving import (
+    AdmissionQueue,
+    NeighborhoodRequest,
+    PageRankRequest,
+    SessionPool,
+    ShortestPathRequest,
+    StatsRequest,
+    TenantQuota,
+    TraversalService,
+    VisitRequest,
+)
+
+
+# ----------------------------------------------------------------------
+# Requests
+# ----------------------------------------------------------------------
+
+class TestRequests:
+    def test_requests_are_frozen_values(self):
+        a = VisitRequest(problem="bfs", source=3, tenant="t")
+        b = VisitRequest(problem="bfs", source=3, tenant="t")
+        assert a == b
+        with pytest.raises(AttributeError):
+            a.source = 4
+
+    def test_bad_slo_fields_rejected(self):
+        with pytest.raises(ConfigError):
+            VisitRequest(tenant="")
+        with pytest.raises(ConfigError):
+            VisitRequest(deadline_ms=-1.0)
+        with pytest.raises(ConfigError):
+            VisitRequest(iteration_budget=0)
+        with pytest.raises(ConfigError):
+            NeighborhoodRequest(hops=-1)
+        with pytest.raises(ConfigError):
+            PageRankRequest(damping=1.0)
+        with pytest.raises(ConfigError):
+            PageRankRequest(tolerance=0.0)
+
+    def test_validate_against_graph(self, tiny_graph):
+        with pytest.raises(InvalidLaunchError):
+            VisitRequest(source=99).validate(tiny_graph)
+        with pytest.raises(ConfigError):
+            VisitRequest(problem="nope").validate(tiny_graph)
+        with pytest.raises(ConfigError):
+            # early-exit target only makes sense for BFS
+            VisitRequest(problem="cc", source=0, target=1).validate(tiny_graph)
+        with pytest.raises(InvalidLaunchError):
+            ShortestPathRequest(source=0, target=99).validate(tiny_graph)
+        VisitRequest(source=0).validate(tiny_graph)  # no raise
+
+
+# ----------------------------------------------------------------------
+# Admission: quotas, deadlines, EDF order
+# ----------------------------------------------------------------------
+
+class TestAdmission:
+    def test_quota_accounting(self):
+        queue = AdmissionQueue(default_quota=TenantQuota(max_pending=2))
+        queue.submit(VisitRequest(tenant="a"), 0.0)
+        queue.submit(VisitRequest(tenant="a"), 0.0)
+        assert queue.pending("a") == 2
+        with pytest.raises(QuotaExceededError):
+            queue.submit(VisitRequest(tenant="a"), 0.0)
+        # Another tenant has its own budget.
+        queue.submit(VisitRequest(tenant="b"), 0.0)
+        # Popping releases the slot.
+        queue.pop()
+        queue.submit(VisitRequest(tenant="a"), 0.0)
+        assert queue.rejections == {"QuotaExceededError": 1}
+
+    def test_spent_deadline_rejected_at_the_door(self):
+        queue = AdmissionQueue()
+        with pytest.raises(DeadlineExceededError):
+            queue.submit(VisitRequest(deadline_ms=0.0), 5.0)
+        # A replayed arrival whose budget has already elapsed.
+        with pytest.raises(DeadlineExceededError):
+            queue.submit(
+                VisitRequest(arrival_ms=1.0, deadline_ms=2.0), 10.0
+            )
+        assert len(queue) == 0
+        assert queue.rejections == {"DeadlineExceededError": 2}
+
+    def test_edf_order_with_best_effort_last(self):
+        queue = AdmissionQueue()
+        queue.submit(VisitRequest(tenant="slack", deadline_ms=50.0), 0.0)
+        queue.submit(VisitRequest(tenant="none"), 0.0)  # best-effort
+        queue.submit(VisitRequest(tenant="tight", deadline_ms=5.0), 0.0)
+        queue.submit(VisitRequest(tenant="mid", deadline_ms=20.0), 0.0)
+        order = [queue.pop().tenant for _ in range(4)]
+        assert order == ["tight", "mid", "slack", "none"]
+
+    def test_edf_ties_break_on_admission_order(self):
+        queue = AdmissionQueue()
+        first = queue.submit(VisitRequest(tenant="a", deadline_ms=10.0), 0.0)
+        second = queue.submit(VisitRequest(tenant="b", deadline_ms=10.0), 0.0)
+        assert queue.pop() is first
+        assert queue.pop() is second
+
+    def test_quota_supplies_default_deadline_and_budget(self):
+        queue = AdmissionQueue(
+            quotas={"t": TenantQuota(deadline_ms=7.0, iteration_budget=3)},
+        )
+        admitted = queue.submit(VisitRequest(tenant="t"), 1.0)
+        assert admitted.deadline_abs == pytest.approx(8.0)
+        assert admitted.iteration_budget == 3
+        # An explicit request budget wins over the quota's default.
+        explicit = queue.submit(
+            VisitRequest(tenant="t", deadline_ms=2.0, iteration_budget=9),
+            1.0,
+        )
+        assert explicit.deadline_abs == pytest.approx(3.0)
+        assert explicit.iteration_budget == 9
+
+
+# ----------------------------------------------------------------------
+# Pool: checkout / return / shutdown
+# ----------------------------------------------------------------------
+
+class TestPool:
+    def test_checkout_prefers_least_busy_lane(self, tiny_graph):
+        with SessionPool(tiny_graph, size=2) as pool:
+            a = pool.checkout()
+            assert a.index == 0
+            a.busy_until_ms = 10.0
+            pool.checkin(a)
+            b = pool.checkout()
+            assert b.index == 1  # lane 0 is busy until 10 ms
+
+    def test_checkout_exhaustion_and_return(self, tiny_graph):
+        with SessionPool(tiny_graph, size=2) as pool:
+            a = pool.checkout()
+            b = pool.checkout()
+            with pytest.raises(QuotaExceededError):
+                pool.checkout()
+            pool.checkin(a)
+            assert pool.checkout() is a
+            with pytest.raises(QuotaExceededError):
+                pool.checkin(b)  # still checked out: checking in twice
+                pool.checkin(b)
+
+    def test_closed_pool_refuses_checkout(self, tiny_graph):
+        pool = SessionPool(tiny_graph, size=1)
+        pool.close()
+        with pytest.raises(SessionClosedError):
+            pool.checkout()
+        pool.close()  # idempotent
+
+    def test_fault_plan_forces_resilient_workers(self, tiny_graph):
+        from repro.resilience import FaultPlan
+
+        with SessionPool(
+            tiny_graph, size=1, fault_plan=FaultPlan(),
+        ) as pool:
+            assert pool.resilient
+            assert pool.workers[0].resilient
+
+
+# ----------------------------------------------------------------------
+# Service: dispatch, shedding, shutdown
+# ----------------------------------------------------------------------
+
+class TestService:
+    def test_call_serves_bfs(self, tiny_graph):
+        with TraversalService(tiny_graph) as service:
+            resp = service.call(VisitRequest(problem="bfs", source=0))
+        assert resp.ok and not resp.shed
+        assert resp.labels is not None
+        assert resp.latency_ms > 0
+        assert resp.worker == 0
+        assert resp.placement == "um_prefetch"  # the default memory mode
+
+    def test_deadline_rejection_before_work(self, tiny_graph):
+        with TraversalService(tiny_graph) as service:
+            with pytest.raises(DeadlineExceededError):
+                service.submit(VisitRequest(source=0, deadline_ms=0.0))
+            assert service.pool.workers[0].served == 0
+            # The batch path converts the refusal into a shed response.
+            resp = service.call(VisitRequest(source=0, deadline_ms=0.0))
+            assert resp.shed and not resp.ok
+            assert "DeadlineExceededError" in resp.error
+            assert service.pool.workers[0].served == 0
+
+    def test_queued_deadline_expiry_sheds(self, tiny_graph):
+        # One lane, two equally tight deadlines: the first fills the
+        # lane past the second's deadline — the second must be shed,
+        # not served late.
+        with TraversalService(tiny_graph, pool_size=1) as service:
+            responses = service.serve([
+                VisitRequest(problem="bfs", source=0, tenant="first",
+                             deadline_ms=0.05),
+                VisitRequest(problem="bfs", source=1, tenant="second",
+                             deadline_ms=0.05),
+            ])
+        first, second = responses
+        assert first.ok
+        assert second.shed and not second.ok
+        assert "DeadlineExceededError" in second.error
+        assert second.start_ms == second.finish_ms  # no worker time spent
+        assert second.start_ms >= first.finish_ms
+        assert service.requests_shed == 1
+
+    def test_edf_dispatch_order(self, tiny_graph):
+        with TraversalService(tiny_graph, pool_size=1) as service:
+            service.submit(VisitRequest(source=0, tenant="slack",
+                                        deadline_ms=1000.0))
+            service.submit(VisitRequest(source=1, tenant="best_effort"))
+            service.submit(VisitRequest(source=2, tenant="tight",
+                                        deadline_ms=100.0))
+            responses = service.drain()
+        assert [r.tenant for r in responses] == \
+            ["tight", "slack", "best_effort"]
+        # One lane serves strictly in dispatch order.
+        starts = [r.start_ms for r in responses]
+        assert starts == sorted(starts)
+
+    def test_two_lanes_run_concurrently(self, skewed_graph):
+        with TraversalService(skewed_graph, pool_size=2) as service:
+            responses = service.serve([
+                VisitRequest(source=0), VisitRequest(source=1),
+            ])
+        # Both arrive at 0 and start immediately on separate lanes.
+        assert {r.worker for r in responses} == {0, 1}
+        assert all(r.start_ms == 0.0 for r in responses)
+
+    def test_iteration_budget_is_a_typed_slo_error(self, skewed_graph):
+        with TraversalService(skewed_graph) as service:
+            resp = service.call(
+                VisitRequest(problem="bfs", source=0, iteration_budget=1)
+            )
+        assert not resp.ok and not resp.shed
+        assert "DeadlineExceededError" in resp.error
+
+    def test_clean_shutdown_raises_on_late_requests(self, tiny_graph):
+        service = TraversalService(tiny_graph)
+        assert service.call(VisitRequest(source=0)).ok
+        service.close()
+        assert service.closed
+        with pytest.raises(SessionClosedError):
+            service.submit(VisitRequest(source=0))
+        with pytest.raises(SessionClosedError):
+            service.serve([VisitRequest(source=0)])
+        with pytest.raises(SessionClosedError):
+            service.drain()
+        service.close()  # idempotent
+
+    def test_serve_reports_earlier_pending_requests_too(self, tiny_graph):
+        with TraversalService(tiny_graph) as service:
+            service.submit(VisitRequest(source=1, tenant="early"))
+            responses = service.serve([VisitRequest(source=0, tenant="batch")])
+        assert [r.tenant for r in responses] == ["batch", "early"]
+
+    def test_malformed_request_is_refused_not_crashed(self, tiny_graph):
+        with TraversalService(tiny_graph) as service:
+            resp = service.call(VisitRequest(source=99))
+            assert not resp.ok and "InvalidLaunchError" in resp.error
+            with pytest.raises(ConfigError):
+                service.submit("not a request")  # type: ignore[arg-type]
+
+
+# ----------------------------------------------------------------------
+# Endpoints
+# ----------------------------------------------------------------------
+
+class TestEndpoints:
+    def test_neighborhood_matches_bfs_levels(self, tiny_graph):
+        from repro.core.session import EngineSession
+
+        with TraversalService(tiny_graph) as service:
+            resp = service.call(NeighborhoodRequest(source=0, hops=1))
+        with EngineSession(tiny_graph) as session:
+            levels = session.query("bfs", 0).labels
+        want = np.flatnonzero(np.isfinite(levels) & (levels <= 1))
+        np.testing.assert_array_equal(resp.value["vertices"], want)
+        np.testing.assert_array_equal(
+            resp.value["levels"], levels[want].astype(np.int64)
+        )
+
+    def test_shortest_path_is_a_real_path(self, skewed_graph):
+        from repro.algorithms.paths import verify_path
+
+        with TraversalService(skewed_graph) as service:
+            resp = service.call(ShortestPathRequest(source=0, target=5))
+        assert resp.ok
+        path = resp.value
+        assert path[0] == 0 and path[-1] == 5
+        assert verify_path(
+            skewed_graph, path, resp.result.labels, "bfs"
+        )
+
+    def test_unreachable_path_is_typed_error(self, tiny_graph):
+        # Vertex 2 has out-degree 0, so nothing is reachable from it.
+        with TraversalService(tiny_graph) as service:
+            resp = service.call(ShortestPathRequest(source=2, target=0))
+        assert not resp.ok and "PathError" in resp.error
+
+    def test_pagerank_and_stats(self, tiny_graph):
+        with TraversalService(tiny_graph) as service:
+            pr = service.call(PageRankRequest())
+            st = service.call(StatsRequest())
+        assert pr.ok and len(pr.value) == tiny_graph.num_vertices
+        assert np.all(pr.value >= 0)
+        assert st.ok
+        assert st.value["num_vertices"] == tiny_graph.num_vertices
+        assert st.value["num_edges"] == tiny_graph.num_edges
+        assert st.service_ms == 0.0  # metadata lookup, no device time
+
+
+# ----------------------------------------------------------------------
+# Telemetry: metrics and spans
+# ----------------------------------------------------------------------
+
+class TestTelemetry:
+    def test_per_tenant_metrics(self, tiny_graph):
+        with TraversalService(tiny_graph) as service:
+            service.serve([
+                VisitRequest(source=0, tenant="a"),
+                VisitRequest(source=1, tenant="a"),
+                StatsRequest(tenant="b"),
+            ])
+            snap = service.metrics.snapshot()
+        counters = snap["counters"]
+        assert counters["service.requests{endpoint=visit,tenant=a}"] == 2
+        assert counters["service.requests{endpoint=stats,tenant=b}"] == 1
+        hists = snap["histograms"]
+        assert hists["service.latency_ms{endpoint=visit,tenant=a}"]["count"] == 2
+
+    def test_tenant_cardinality_is_bounded(self, tiny_graph):
+        with TraversalService(tiny_graph, max_series=4) as service:
+            for i in range(12):
+                service.call(StatsRequest(tenant=f"tenant-{i}"))
+        assert service.metrics.dropped_series > 0
+        snap = service.metrics.snapshot()
+        per_metric = [
+            len([k for k in snap["counters"] if k.startswith(name + "{")])
+            for name in ("service.requests",)
+        ]
+        assert all(n <= 5 for n in per_metric)  # 4 series + overflow fold
+
+    def test_unified_snapshot_service_gauges(self, tiny_graph):
+        from repro.observability.metrics import unified_snapshot
+
+        with TraversalService(tiny_graph) as service:
+            service.call(VisitRequest(source=0))
+            snap = unified_snapshot(service=service)
+        gauges = snap["gauges"]
+        assert gauges["service.pool_size"] == 2
+        assert gauges["service.requests_served"] == 1
+        assert gauges["service.requests_shed"] == 0
+        assert gauges["service.clock_ms"] > 0
+
+    def test_service_track_spans(self, tiny_graph):
+        with TraversalService(
+            tiny_graph, pool_size=1, telemetry=True,
+        ) as service:
+            service.serve([
+                VisitRequest(source=0, tenant="a", deadline_ms=0.05),
+                VisitRequest(source=1, tenant="b", deadline_ms=0.05),
+            ])
+            trace = service.trace()
+        requests = trace.spans("service", "request")
+        sheds = trace.spans("service", "shed")
+        assert len(requests) == 1 and len(sheds) == 1
+        assert requests[0].attrs["tenant"] == "a"
+        assert requests[0].attrs["endpoint"] == "visit"
+        assert requests[0].duration_ms > 0
+        assert sheds[0].attrs["tenant"] == "b"
+        assert "service" in trace.categories()
+
+    def test_telemetry_off_by_default(self, tiny_graph):
+        with TraversalService(tiny_graph) as service:
+            service.call(VisitRequest(source=0))
+            assert service.trace() is None
+
+
+# ----------------------------------------------------------------------
+# Config plumbing
+# ----------------------------------------------------------------------
+
+class TestConfig:
+    def test_with_track_parents(self):
+        config = EtaGraphConfig()
+        assert not config.track_parents
+        tracked = config.with_track_parents()
+        assert tracked.track_parents
+        assert tracked.degree_limit == config.degree_limit
+        assert not tracked.with_track_parents(False).track_parents
