@@ -8,6 +8,7 @@ Usage::
     python -m repro.bench all --jobs 4  # same results, process-parallel
     python -m repro.bench perf          # simulator wall-clock harness
     python -m repro.bench serve         # closed-loop serving load bench
+    python -m repro.bench msbfs         # MSBFS wave vs sequential batch
     python -m repro.bench compare A B   # diff two --json-dir outputs
 """
 
@@ -69,6 +70,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.serving.loadgen import main as serve_main
 
         return serve_main(argv[1:])
+    if argv[:1] == ["msbfs"]:
+        from repro.perf.msbfs import main as msbfs_main
+
+        return msbfs_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
         description="Regenerate the paper's tables and figures.",
@@ -77,7 +82,7 @@ def main(argv: list[str] | None = None) -> int:
         "experiment",
         nargs="?",
         help=f"one of: {', '.join(sorted(ALL_EXPERIMENTS))}, 'all', "
-        "'perf', 'serve', or 'compare A B'",
+        "'perf', 'serve', 'msbfs', or 'compare A B'",
     )
     parser.add_argument(
         "--quick", action="store_true",
@@ -104,6 +109,7 @@ def main(argv: list[str] | None = None) -> int:
         for name in sorted(ALL_EXPERIMENTS):
             print(f"  {name}")
         print("  perf  (simulator wall-clock harness)")
+        print("  msbfs (MSBFS wave vs sequential batch)")
         return 0
 
     if args.experiment == "all":

@@ -1,0 +1,566 @@
+"""Multi-source wave BFS (MSBFS): one traversal pass serves many sources.
+
+Every query in :func:`repro.core.multi.run_batch` and the serving layer
+used to be one full traversal — N sources meant N edge expansions, N
+``TracePlan`` builds and N cache passes over largely the same topology.
+The iBFS line of work and GraphBLAST's linear-algebra framing both make
+the same observation: level-synchronous BFS from ``w <= 64`` sources is
+*one* traversal over a bit-packed frontier, where each vertex carries a
+``uint64`` lane mask (bit ``i`` set = "vertex is in source ``i``'s
+current frontier") and an edge propagates its source's whole mask with a
+single ``OR`` — the warp-ballot idiom lifted to the frontier itself.
+
+:func:`run_wave` drives a wave through an existing
+:class:`~repro.core.session.EngineSession`, reusing its resident
+topology, caches, UM state and frontier memo (wave memo entries carry a
+``wave_lanes`` key component so they never collide with sequential
+entries).  Each wave iteration performs exactly **one** ``actSet2virt``
+transform, **one** edge expansion, **one** ``TracePlan`` build (at most
+one sort) and **one** cache/coalescing pass — for all lanes at once.
+The kernel's gathered operand is the 8-byte lane mask instead of the
+4-byte label, and the cost model sees exactly that.
+
+Exactness contract: the per-source levels a wave produces are
+**bit-identical** to running each source through
+:meth:`EngineSession.query` sequentially.  BFS levels are small exact
+integers in float32, a vertex's level is the first iteration whose
+frontier reaches it, and lane propagation is a pure OR-reduce — no lane
+can observe another lane's state, so the union schedule changes nothing
+per source.  ``tests/test_msbfs.py`` and the ``etagraph-msbfs``
+differential engine gate this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.algorithms.base import get_problem
+from repro.core.config import MemoryMode
+from repro.core.session import EngineSession, _FrontierExpansion
+from repro.core.stats import IterationStats, TraversalStats
+from repro.core.smp import plan_prefetch
+from repro.core.udc import degree_cut
+from repro.errors import ConfigError, ConvergenceError, InvalidLaunchError
+from repro.gpu import kernel as gpukernel
+from repro.gpu.kernel import simulate_streaming_kernel, simulate_vertex_kernel
+from repro.gpu.profiler import Profiler
+from repro.gpu.timeline import Timeline
+from repro.gpu.transfer import d2h_copy, h2d_copy
+from repro.utils.ragged import ragged_gather_indices
+from repro.utils.sorting import sorted_unique
+
+#: Lane capacity of one wave: one bit per source in a uint64 mask.
+WAVE_LANES = 64
+
+_ONE = np.uint64(1)
+
+
+@dataclass
+class WaveResult:
+    """Outcome of one MSBFS wave: per-source levels + the shared
+    measurement record of the single fused traversal."""
+
+    #: The wave's sources, lane ``i`` = ``sources[i]``.
+    sources: np.ndarray
+    #: ``(width, num_vertices)`` float32 — row ``i`` is bit-identical to
+    #: ``session.query("bfs", sources[i]).labels``.
+    levels: np.ndarray
+    total_ms: float
+    kernel_ms: float
+    transfer_ms: float
+    d2h_ms: float
+    setup_ms: float
+    stats: TraversalStats
+    timeline: Timeline
+    profiler: Profiler
+    config: object
+    oversubscribed: bool = False
+    trace: object | None = None
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def width(self) -> int:
+        return len(self.sources)
+
+    @property
+    def iterations(self) -> int:
+        return self.stats.num_iterations
+
+    @property
+    def query_ms(self) -> float:
+        return self.total_ms - self.setup_ms
+
+    def labels_for(self, lane: int) -> np.ndarray:
+        """Source ``lane``'s BFS levels (a fresh float32 copy)."""
+        return self.levels[lane].copy()
+
+    def to_results(self) -> list:
+        """Per-source :class:`~repro.core.engine.TraversalResult` views.
+
+        The wave's cost is *shared*: each synthesized result carries an
+        even ``1/width`` slice of the wave's query time (setup rides on
+        lane 0, mirroring ``run_batch``'s first-query accounting), and
+        all lanes share the wave's stats/timeline/profiler objects.
+        Labels are exact per source; timings are an attribution, which
+        is what batch amortization accounting needs.
+        """
+        from repro.core.engine import TraversalResult
+
+        width = self.width
+        share = self.query_ms / width
+        out = []
+        for lane, source in enumerate(self.sources):
+            out.append(TraversalResult(
+                labels=self.labels_for(lane),
+                source=int(source),
+                problem_name="bfs",
+                total_ms=share + (self.setup_ms if lane == 0 else 0.0),
+                kernel_ms=self.kernel_ms / width,
+                transfer_ms=self.transfer_ms / width,
+                d2h_ms=self.d2h_ms / width,
+                stats=self.stats,
+                timeline=self.timeline,
+                profiler=self.profiler,
+                config=self.config,
+                device_bytes=self.extras.get("device_bytes", 0),
+                um_bytes=self.extras.get("um_bytes", 0),
+                oversubscribed=self.oversubscribed,
+                setup_ms=self.setup_ms if lane == 0 else 0.0,
+                trace=self.trace if lane == 0 else None,
+                extras={
+                    "wave": True,
+                    "wave_width": width,
+                    "wave_lane": lane,
+                    "wave_iterations": self.iterations,
+                },
+            ))
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"WaveResult({self.width} sources, {self.iterations} iters, "
+            f"{self.total_ms:.3f} ms)"
+        )
+
+
+def _validate_sources(session: EngineSession, sources) -> np.ndarray:
+    sources = np.asarray(sources, dtype=np.int64).ravel()
+    if len(sources) == 0:
+        raise ConfigError("empty wave: at least one source required")
+    if len(sources) > WAVE_LANES:
+        raise ConfigError(
+            f"wave width {len(sources)} exceeds the {WAVE_LANES}-lane "
+            "mask capacity; chunk sources into waves "
+            "(run_batch(strategy='wave') does this)"
+        )
+    n = session.csr.num_vertices
+    bad = sources[(sources < 0) | (sources >= n)]
+    if len(bad):
+        raise InvalidLaunchError(
+            f"wave source {int(bad[0])} out of range [0, {n})"
+        )
+    return sources
+
+
+def run_wave(
+    session: EngineSession,
+    sources,
+    *,
+    max_iterations: int | None = None,
+) -> WaveResult:
+    """Run BFS from up to 64 sources as one bit-packed wave traversal.
+
+    The wave rides ``session``'s resident topology and frontier memo.
+    Per-source levels are bit-identical to sequential
+    :meth:`EngineSession.query` BFS runs; the cost record covers the
+    single fused traversal.  ``max_iterations`` bounds the *wave's*
+    iteration count (the union frontier converges when the deepest lane
+    does), mapping to :class:`~repro.errors.ConvergenceError` exactly
+    like a sequential query.
+    """
+    session._check_open()
+    sources = _validate_sources(session, sources)
+    if max_iterations is not None and max_iterations < 1:
+        raise ConfigError(
+            f"max_iterations must be >= 1, got {max_iterations}"
+        )
+    problem = get_problem("bfs")
+    problem.check_graph(session.csr)
+
+    cfg = session.config
+    csr = session.csr
+    spec = session.device
+    mem = session.memory
+    caches = session.caches
+    um = session.um
+    width = len(sources)
+    n = csr.num_vertices
+
+    prof = Profiler()
+    timeline = Timeline()
+    check_udc_partition = None
+    if cfg.check_invariants:
+        from repro.testing.invariants import check_udc_partition
+    clock = 0.0
+    setup_before = session.setup_ms
+    smp = session._smp
+    threads_per_block = session._threads_per_block
+
+    tr = session.tracer
+    if tr is None and cfg.telemetry:
+        from repro.observability.spans import Tracer
+
+        tr = Tracer()
+    q_span = None
+    if tr is not None:
+        q_span = tr.start(
+            "wave_query", "engine", clock,
+            problem="msbfs", sources=width,
+            memory_mode=cfg.memory_mode.value,
+            vertices=n, edges=csr.num_edges,
+            warm=session.warm,
+        )
+
+    # --- topology placement (first query of the session only) ---------
+    clock = session._place_topology(problem, prof, timeline, clock, tr)
+    offsets_arr = session._offsets_arr
+    cols_arr = session._cols_arr
+
+    # --- wave state: bit-packed frontier masks + per-lane levels ------
+    masks_host = np.zeros(n, dtype=np.uint64)
+    levels = np.full((width, n), np.inf, dtype=np.float32)
+    for lane, source in enumerate(sources):
+        masks_host[source] |= _ONE << np.uint64(lane)
+        levels[lane, source] = 0.0
+    mask_arr = session._wave_mask_buffer(masks_host)
+    mask = mask_arr.data
+    visited_mask = mask.copy()
+    frontier = session._frontier_buffers()
+    if tr is not None:
+        tr.cursor_ms = clock
+    t = h2d_copy(spec, prof, mask_arr.nbytes, injector=session.injector,
+                 tracer=tr, label="wave-masks-init")
+    timeline.add("transfer", clock, clock + t, nbytes=mask_arr.nbytes,
+                 label="wave-masks-init")
+    clock += t
+
+    oversubscribed = False
+    if um is not None:
+        um_bytes = sum(a.nbytes for a in session._topo_arrays())
+        oversubscribed = \
+            um_bytes > um.resident_budget_pages * spec.page_bytes
+
+    clock = session._prefetch_topology(prof, timeline, clock, tr)
+    clock = session._place_shadow_table(prof, timeline, clock, tr)
+    shadow_table = session._shadow_table
+
+    # --- fused traversal loop -----------------------------------------
+    seeds = np.flatnonzero(mask)
+    stats = TraversalStats(num_vertices=n, seed_count=len(seeds))
+    frontier.seed_many(seeds)
+    offsets = csr.row_offsets
+    cols = csr.column_indices
+
+    iteration = 0
+    iteration_limit = (
+        cfg.max_iterations if max_iterations is None else max_iterations
+    )
+    while not frontier.is_empty:
+        if iteration >= iteration_limit:
+            raise ConvergenceError(
+                f"msbfs wave ({width} sources) did not converge within "
+                f"{iteration_limit} iterations"
+            )
+        active = frontier.active
+        frontier.reset()
+
+        it_span = None
+        if tr is not None:
+            it_span = tr.start("iteration", "engine", clock,
+                               index=iteration, active=len(active))
+            tr.cursor_ms = clock
+
+        # One memo lookup for the whole wave; entries are keyed with the
+        # lane count so wave and sequential expansions never mix (their
+        # trace plans gather different operand widths).
+        entry = key = None
+        active_bytes = b""
+        if cfg.frontier_memo_entries > 0:
+            if session.injector is not None:
+                session.injector.on_memo_lookup(session)
+            active_bytes = np.ascontiguousarray(active).tobytes()
+            key = session._memo_key(
+                active_bytes, len(active), mask_arr, None,
+                wave_lanes=width,
+            )
+            entry = session._memo_get(key, active_bytes)
+        memo_hit = entry is not None
+
+        # One actSet2virtActSet transform for every lane at once.
+        if shadow_table is not None:
+            shadows = entry.shadows if entry is not None \
+                else shadow_table.select(active)
+            transform = simulate_streaming_kernel(
+                spec, caches,
+                read_bytes=2 * len(active) * 4,
+                write_bytes=len(shadows) * 4,
+                n_threads=len(active),
+                instr_per_thread=8.0,
+                tracer=tr, trace_name="transform",
+            )
+        else:
+            shadows = entry.shadows if entry is not None \
+                else degree_cut(active, offsets, cfg.degree_limit)
+            transform = simulate_streaming_kernel(
+                spec, caches,
+                read_bytes=len(active) * 4,
+                write_bytes=3 * len(shadows) * 4,
+                n_threads=len(active),
+                instr_per_thread=14.0,
+                scatter_base_address=offsets_arr.base_address,
+                scatter_indices=np.asarray(active, dtype=np.int64),
+                tracer=tr, trace_name="transform",
+            )
+        prof.record_kernel(transform.counters)
+        transform_ms = transform.time_ms
+        if check_udc_partition is not None:
+            check_udc_partition(shadows, active, offsets, cfg.degree_limit)
+
+        # On-demand UM / zero-copy traffic: same page-touch pattern a
+        # sequential iteration over this active set would generate, paid
+        # once for the whole wave.
+        migration_ms = 0.0
+        migration_bytes = 0
+        zero_copy_ms = 0.0
+        if cfg.memory_mode is MemoryMode.ZERO_COPY and len(shadows):
+            zc_bytes = len(active) * 8 + shadows.total_edges * 4
+            zero_copy_ms = spec.bytes_time_ms(
+                zc_bytes, spec.pcie_bandwidth_gbps * 0.35
+            )
+            timeline.add("transfer", clock, clock + zero_copy_ms,
+                         nbytes=zc_bytes, label=f"zerocopy-{iteration}")
+            if tr is not None:
+                tr.emit("zerocopy", "transfer", zero_copy_ms, t_ms=clock,
+                        nbytes=float(zc_bytes))
+        if um is not None and cfg.memory_mode is MemoryMode.UM_ON_DEMAND:
+            if tr is not None:
+                tr.cursor_ms = clock
+            batches = [
+                um.touch_byte_ranges(
+                    offsets_arr,
+                    np.asarray(active, dtype=np.int64) * 4,
+                    np.full(len(active), 8, dtype=np.int64),
+                    prof, tr,
+                )
+            ]
+            if len(shadows):
+                batches.append(um.touch_byte_ranges(
+                    cols_arr, shadows.starts * 4, shadows.degrees * 4,
+                    prof, tr,
+                ))
+            migration_ms = sum(b.time_ms for b in batches)
+            migration_bytes = sum(b.bytes_moved for b in batches)
+        elif um is not None and cfg.memory_mode is MemoryMode.UM_PREFETCH \
+                and oversubscribed and len(shadows):
+            if tr is not None:
+                tr.cursor_ms = clock
+            batch = um.touch_byte_ranges(
+                cols_arr, shadows.starts * 4, shadows.degrees * 4,
+                prof, tr,
+            )
+            migration_ms = batch.time_ms
+            migration_bytes = batch.bytes_moved
+
+        if len(shadows) == 0:
+            clock += transform_ms
+            stats.record(IterationStats(
+                index=iteration, active_vertices=len(active),
+                shadow_vertices=0, edges_scanned=0, updates=0,
+                newly_visited=0, kernel_ms=0.0, transform_ms=transform_ms,
+                transfer_ms=migration_ms, elapsed_end_ms=clock,
+            ))
+            if it_span is not None:
+                tr.end(it_span, clock, shadows=0, edges=0, updates=0)
+            iteration += 1
+            continue
+
+        # --- functional step: one OR-propagation for all lanes --------
+        if entry is None:
+            edge_idx = ragged_gather_indices(shadows.starts, shadows.degrees)
+            nbr = cols[edge_idx].astype(np.int64)
+            entry = _FrontierExpansion(
+                shadows=shadows,
+                ids64=shadows.ids.astype(np.int64),
+                edge_idx=edge_idx,
+                nbr=nbr,
+                dests=sorted_unique(nbr),
+                w_per_edge=None,
+                active_bytes=active_bytes,
+            )
+            if key is not None:
+                session._memo_put(key, entry)
+        nbr = entry.nbr
+        dests = entry.dests
+        masks_per_edge = np.repeat(mask[entry.ids64], shadows.degrees)
+        fresh_per_edge = masks_per_edge & ~visited_mask[nbr]
+        attempted = int(np.count_nonzero(fresh_per_edge))
+
+        delta = np.zeros(n, dtype=np.uint64)
+        np.bitwise_or.at(delta, nbr, masks_per_edge)
+        new_bits = delta & ~visited_mask
+        changed = dests[new_bits[dests] != 0]
+
+        if len(changed):
+            level = np.float32(iteration + 1)
+            changed_bits = new_bits[changed]
+            union = np.bitwise_or.reduce(changed_bits)
+            for lane in range(width):
+                bit = _ONE << np.uint64(lane)
+                if not union & bit:
+                    continue
+                levels[lane, changed[(changed_bits & bit) != 0]] = level
+            visited_mask[changed] |= changed_bits
+
+        # The device mask buffer now holds the *next* frontier's lanes.
+        mask[active] = 0
+        if len(changed):
+            mask[changed] = new_bits[changed]
+
+        # --- kernel cost: one launch for the whole wave ---------------
+        if entry.trace_plan is None:
+            smp_plan = (
+                plan_prefetch(shadows, offsets, cfg.degree_limit)
+                if smp else None
+            )
+            entry.trace_plan = gpukernel.build_vertex_trace(
+                spec,
+                starts=shadows.starts,
+                degrees=shadows.degrees,
+                adj_array=cols_arr,
+                neighbor_ids=nbr,
+                label_array=mask_arr,
+                weight_array=None,
+                meta_array=frontier.virt_act_set,
+                meta_words_per_thread=3,
+                smp=smp,
+                smp_planned_words=(
+                    smp_plan.planned_words if smp_plan else None
+                ),
+                trace_cap=gpukernel.TRACE_CAP,
+            )
+        if session.injector is not None:
+            session.injector.on_kernel_launch(mask)
+        if tr is not None:
+            tr.cursor_ms = clock + transform_ms
+        timing = simulate_vertex_kernel(
+            spec, caches,
+            starts=shadows.starts,
+            degrees=shadows.degrees,
+            adj_array=cols_arr,
+            neighbor_ids=nbr,
+            label_array=mask_arr,
+            weight_array=None,
+            meta_array=frontier.virt_act_set,
+            meta_words_per_thread=3,
+            smp=smp,
+            degree_limit=cfg.degree_limit,
+            updates=attempted,
+            instr_per_edge=problem.instr_per_edge,
+            threads_per_block=threads_per_block,
+            plan=entry.trace_plan,
+            tracer=tr,
+        )
+        prof.record_kernel(timing.counters)
+        kernel_ms = timing.time_ms
+        compute_ms = transform_ms + kernel_ms
+
+        if migration_ms > 0:
+            hidden = cfg.overlap_efficiency * min(compute_ms, migration_ms)
+            iter_ms = compute_ms + migration_ms - hidden
+            timeline.add("compute", clock, clock + iter_ms)
+            timeline.add("transfer", clock, clock + migration_ms,
+                         nbytes=migration_bytes, label=f"iter-{iteration}")
+        elif zero_copy_ms > 0:
+            iter_ms = max(compute_ms, zero_copy_ms)
+            timeline.add("compute", clock, clock + iter_ms)
+        else:
+            iter_ms = compute_ms
+            timeline.add("compute", clock, clock + compute_ms)
+        clock += iter_ms
+
+        stats.record(IterationStats(
+            index=iteration,
+            active_vertices=len(active),
+            shadow_vertices=len(shadows),
+            edges_scanned=shadows.total_edges,
+            updates=attempted,
+            newly_visited=len(changed),
+            kernel_ms=kernel_ms,
+            transform_ms=transform_ms,
+            transfer_ms=migration_ms,
+            elapsed_end_ms=clock,
+        ))
+        if it_span is not None:
+            tr.end(
+                it_span, clock,
+                shadows=len(shadows), edges=shadows.total_edges,
+                updates=attempted, newly_visited=len(changed),
+                memo="hit" if memo_hit else "miss",
+            )
+
+        frontier.publish(changed)
+        iteration += 1
+
+    total_ms = clock
+    if tr is not None:
+        tr.cursor_ms = clock
+    d2h_ms = d2h_copy(spec, prof, mask_arr.nbytes,
+                      injector=session.injector,
+                      tracer=tr, label="wave-masks-d2h")
+    setup_this_call = session.setup_ms - setup_before
+
+    trace = None
+    if tr is not None:
+        tr.end(q_span, total_ms + d2h_ms,
+               iterations=iteration, total_ms=total_ms, d2h_ms=d2h_ms)
+        trace = tr.trace(
+            problem="msbfs", sources=str(width),
+            graph=f"{n}v-{csr.num_edges}e",
+            memory_mode=cfg.memory_mode.value,
+        )
+
+    session.queries_served += width
+    return WaveResult(
+        sources=sources,
+        levels=levels,
+        total_ms=total_ms,
+        kernel_ms=prof.kernels.elapsed_ms,
+        transfer_ms=prof.h2d_time_ms + prof.migration_time_ms,
+        d2h_ms=d2h_ms,
+        setup_ms=setup_this_call,
+        stats=stats,
+        timeline=timeline,
+        profiler=prof,
+        config=cfg,
+        oversubscribed=oversubscribed,
+        trace=trace,
+        extras={
+            "smp_effective": smp,
+            "threads_per_block": threads_per_block,
+            "device_bytes": mem.device_bytes_in_use,
+            "um_bytes": mem.um_bytes_allocated,
+        },
+    )
+
+
+def wave_chunks(sources: np.ndarray, width: int = WAVE_LANES) -> list[np.ndarray]:
+    """Split a source batch into consecutive waves of at most ``width``
+    lanes (the final wave may be ragged)."""
+    if width < 1 or width > WAVE_LANES:
+        raise ConfigError(
+            f"wave width must be in [1, {WAVE_LANES}], got {width}"
+        )
+    sources = np.asarray(sources, dtype=np.int64)
+    return [sources[i:i + width] for i in range(0, len(sources), width)]

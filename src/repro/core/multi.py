@@ -37,6 +37,12 @@ class BatchResult:
     shared_setup_ms: float
     #: Sum of per-query times excluding the shared setup.
     query_ms: float
+    #: How the batch was executed: ``"sequential"`` (one traversal per
+    #: source) or ``"wave"`` (MSBFS, up to 64 sources per traversal).
+    strategy: str = "sequential"
+    #: The underlying :class:`~repro.core.msbfs.WaveResult` objects when
+    #: ``strategy="wave"`` (one per wave, in source order); else ``None``.
+    waves: list | None = None
 
     @property
     def total_ms(self) -> float:
@@ -68,6 +74,8 @@ def run_batch(
     config: EtaGraphConfig | None = None,
     device: DeviceSpec = GTX_1080TI,
     session: EngineSession | None = None,
+    strategy: str = "sequential",
+    wave_width: int | None = None,
 ) -> BatchResult:
     """Run ``problem`` from every source, sharing one topology placement.
 
@@ -78,10 +86,27 @@ def run_batch(
     batches — in which case ``shared_setup_ms`` covers only the setup
     *this* batch triggered (zero for a fully warm session) and the caller
     keeps ownership of the session.
+
+    ``strategy="wave"`` (BFS only) chunks the sources into MSBFS waves of
+    up to ``wave_width`` lanes (default 64, the mask capacity) and runs
+    each wave as **one** bit-packed traversal via
+    :func:`repro.core.msbfs.run_wave` — same session residency, same
+    frontier memo (wave-keyed), per-source labels bit-identical to the
+    sequential strategy.  The returned per-source results carry an even
+    share of their wave's cost; ``waves`` holds the measured wave records.
     """
     sources = list(np.asarray(sources, dtype=np.int64))
     if not sources:
         raise ConfigError("empty source batch")
+    if strategy not in ("sequential", "wave"):
+        raise ConfigError(
+            f"unknown batch strategy {strategy!r} "
+            "(expected 'sequential' or 'wave')"
+        )
+    if strategy == "wave" and problem != "bfs":
+        raise ConfigError(
+            f"strategy='wave' is MSBFS: it only serves bfs, got {problem!r}"
+        )
     own_session = session is None
     if own_session:
         session = EngineSession(csr, config or EtaGraphConfig(), device)
@@ -92,6 +117,27 @@ def run_batch(
 
     try:
         setup_before = session.setup_ms
+        if strategy == "wave":
+            from repro.core import msbfs
+
+            waves = [
+                msbfs.run_wave(session, chunk)
+                for chunk in msbfs.wave_chunks(
+                    np.asarray(sources, dtype=np.int64),
+                    wave_width if wave_width is not None else msbfs.WAVE_LANES,
+                )
+            ]
+            results = [r for w in waves for r in w.to_results()]
+            shared = session.setup_ms - setup_before
+            return BatchResult(
+                results=results,
+                shared_setup_ms=shared,
+                query_ms=sum(w.query_ms for w in waves),
+                strategy="wave",
+                waves=waves,
+            )
+        if wave_width is not None:
+            raise ConfigError("wave_width only applies to strategy='wave'")
         results = [session.query(problem, int(s)) for s in sources]
         shared = session.setup_ms - setup_before
         return BatchResult(
@@ -105,12 +151,40 @@ def run_batch(
 
 
 def pick_sources(
-    csr: CSRGraph, count: int, *, seed: int = 0, min_degree: int = 1
+    csr: CSRGraph,
+    count: int,
+    *,
+    seed: int = 0,
+    min_degree: int = 1,
+    strict: bool = True,
+    meta: dict | None = None,
 ) -> np.ndarray:
-    """Deterministically sample distinct query sources with out-edges."""
+    """Deterministically sample distinct query sources with out-edges.
+
+    Asking for more sources than the graph has eligible vertices is a
+    configuration error, not a quiet downgrade: under ``strict=True``
+    (the default, and what the bench path uses) it raises
+    :class:`~repro.errors.ConfigError` so a sweep never silently runs
+    fewer queries than its config claims.  Callers that prefer the old
+    clamping behaviour pass ``strict=False`` and may hand in a ``meta``
+    dict — the clamp is recorded there (``requested``/``delivered``/
+    ``clamped``) so it still leaves a signal in their metadata.
+    """
     eligible = np.flatnonzero(csr.out_degrees() >= min_degree)
     if len(eligible) == 0:
         raise ConfigError("no vertices with the required degree")
+    requested = count
+    if count > len(eligible):
+        if strict:
+            raise ConfigError(
+                f"requested {count} sources but only {len(eligible)} "
+                f"vertices have out-degree >= {min_degree}; pass "
+                "strict=False to clamp"
+            )
+        count = len(eligible)
+    if meta is not None:
+        meta["requested"] = requested
+        meta["delivered"] = count
+        meta["clamped"] = count < requested
     rng = np.random.default_rng(seed)
-    count = min(count, len(eligible))
     return rng.choice(eligible, size=count, replace=False).astype(np.int64)

@@ -75,14 +75,20 @@ class _FrontierExpansion:
     ``trace_plan`` and ``src_ids`` are filled lazily: the plan on the
     first kernel launch over this frontier, the per-edge source ids only
     if a parent-tracking query needs them.
+
+    ``active_bytes`` holds the exact bytes of the active set the entry
+    was built from: a memo hit is only trusted after these bytes match
+    the looked-up frontier, so a digest collision degrades to a miss
+    instead of silently serving another frontier's expansion.
     """
 
     __slots__ = (
         "shadows", "ids64", "edge_idx", "nbr", "dests", "w_per_edge",
-        "trace_plan", "src_ids",
+        "trace_plan", "src_ids", "active_bytes",
     )
 
-    def __init__(self, *, shadows, ids64, edge_idx, nbr, dests, w_per_edge):
+    def __init__(self, *, shadows, ids64, edge_idx, nbr, dests, w_per_edge,
+                 active_bytes=b""):
         self.shadows = shadows
         self.ids64 = ids64
         self.edge_idx = edge_idx
@@ -91,12 +97,13 @@ class _FrontierExpansion:
         self.w_per_edge = w_per_edge
         self.trace_plan = None
         self.src_ids = None
+        self.active_bytes = active_bytes
 
     @property
     def nbytes(self) -> int:
         total = (
             self.shadows.nbytes + self.ids64.nbytes + self.edge_idx.nbytes
-            + self.nbr.nbytes + self.dests.nbytes
+            + self.nbr.nbytes + self.dests.nbytes + len(self.active_bytes)
         )
         if self.w_per_edge is not None:
             total += self.w_per_edge.nbytes
@@ -170,6 +177,10 @@ class EngineSession:
         #: previously computed degree cut / edge expansion / trace plan.
         self.memo_hits = 0
         self.memo_misses = 0
+        #: Digest collisions caught by the exact active-set byte check:
+        #: a colliding hit is demoted to a miss instead of serving
+        #: another frontier's expansion.
+        self.memo_collisions = 0
         self._frontier_memo: OrderedDict[tuple, _FrontierExpansion] = \
             OrderedDict()
 
@@ -193,6 +204,7 @@ class EngineSession:
         self._cols_arr: DeviceArray | None = None
         self._weights_arr: DeviceArray | None = None
         self._labels_arr: DeviceArray | None = None
+        self._wave_masks_arr: DeviceArray | None = None
         self._parents_arr: DeviceArray | None = None
         self._frontier: FrontierBuffers | None = None
         self._shadow_table = None
@@ -420,6 +432,22 @@ class EngineSession:
         self._labels_arr = self.memory.alloc("labels", labels_host.copy())
         return self._labels_arr
 
+    def _wave_mask_buffer(self, masks_host: np.ndarray) -> DeviceArray:
+        """Session-resident uint64 lane-mask buffer for MSBFS waves
+        (:mod:`repro.core.msbfs`): one 64-bit word per vertex, reused —
+        never reallocated — across waves, so memoized wave trace plans
+        keep stable device addresses."""
+        arr = self._wave_masks_arr
+        if arr is not None and arr.data.shape == masks_host.shape:
+            arr.data[:] = masks_host
+            return arr
+        if arr is not None:
+            self.memory.free(arr)
+        self._wave_masks_arr = self.memory.alloc(
+            "wave_masks", masks_host.copy()
+        )
+        return self._wave_masks_arr
+
     def _frontier_buffers(self) -> FrontierBuffers:
         if self._frontier is None:
             self._frontier = FrontierBuffers(
@@ -474,28 +502,43 @@ class EngineSession:
 
     def _memo_key(
         self,
-        active: np.ndarray,
+        active_bytes: bytes,
+        num_active: int,
         labels_arr: DeviceArray,
         weights_arr: DeviceArray | None,
+        wave_lanes: int = 0,
     ) -> tuple:
         # Content hash of the active set plus the placement facts the
         # memoized values depend on: the labels array (reallocated when a
         # query switches label dtype, which would invalidate the trace
         # plan's addresses) and whether weights join the trace.  Topology
         # arrays and config are fixed for the session's lifetime.
-        digest = hashlib.blake2b(
-            np.ascontiguousarray(active).tobytes(), digest_size=16
-        ).digest()
+        # ``wave_lanes`` separates MSBFS wave entries (whose trace plans
+        # gather 8-byte masks instead of 4-byte labels) from sequential
+        # ones even if the mask buffer were to land at a recycled
+        # address; the expansion itself is mask-content independent, so
+        # the lane count — not the mask bits — is the right key.
+        digest = hashlib.blake2b(active_bytes, digest_size=16).digest()
         return (
             digest,
-            len(active),
+            num_active,
             labels_arr.base_address,
             labels_arr.itemsize,
             weights_arr.base_address if weights_arr is not None else -1,
+            wave_lanes,
         )
 
-    def _memo_get(self, key: tuple) -> _FrontierExpansion | None:
+    def _memo_get(
+        self, key: tuple, active_bytes: bytes
+    ) -> _FrontierExpansion | None:
         entry = self._frontier_memo.get(key)
+        if entry is not None and entry.active_bytes != active_bytes:
+            # Digest collision: the stored expansion belongs to a
+            # different frontier.  Serve a miss (the caller recomputes
+            # and overwrites the slot) instead of wrong reuse.
+            self.memo_collisions += 1
+            self.memo_misses += 1
+            return None
         if entry is not None:
             self._frontier_memo.move_to_end(key)
             self.memo_hits += 1
@@ -665,11 +708,15 @@ class EngineSession:
             # plan).  The transform kernel below still runs — its cache
             # traffic and cost are paid every iteration either way.
             entry = key = None
+            active_bytes = b""
             if cfg.frontier_memo_entries > 0:
                 if self.injector is not None:
                     self.injector.on_memo_lookup(self)
-                key = self._memo_key(active, labels_arr, weights_arr)
-                entry = self._memo_get(key)
+                active_bytes = np.ascontiguousarray(active).tobytes()
+                key = self._memo_key(
+                    active_bytes, len(active), labels_arr, weights_arr
+                )
+                entry = self._memo_get(key, active_bytes)
             memo_hit = entry is not None
 
             # actSet2virtActSet kernel: gather offsets, emit 3-tuples —
@@ -796,6 +843,7 @@ class EngineSession:
                     w_per_edge=(
                         weights[edge_idx] if weights is not None else None
                     ),
+                    active_bytes=active_bytes,
                 )
                 if key is not None:
                     self._memo_put(key, entry)

@@ -165,6 +165,12 @@ class AdmissionQueue:
         heapq.heappush(self._heap, admitted)
         return admitted
 
+    def peek(self) -> AdmittedRequest | None:
+        """The request :meth:`pop` would return next, without removing
+        it (``None`` when empty) — what the service's wave coalescer
+        uses to decide whether the EDF head extends the current wave."""
+        return self._heap[0] if self._heap else None
+
     def pop(self) -> AdmittedRequest:
         """The pending request with the earliest deadline (ties by
         admission order); releases its tenant quota slot."""

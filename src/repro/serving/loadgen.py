@@ -181,18 +181,29 @@ def run_closed_loop(
 def _tenant_stats(responses: list, tenant: str) -> dict:
     mine = [r for r in responses if r.tenant == tenant]
     served = [r for r in mine if r.ok]
-    latencies = np.array([r.latency_ms for r in served]) \
-        if served else np.array([0.0])
     shed = sum(1 for r in mine if r.shed)
+    # An all-shed tenant (high-load sweep points) has no latencies to
+    # summarize: report None, never a fabricated 0.0 percentile.  For
+    # the rest, method="nearest" makes every reported percentile an
+    # *observed* latency — no interpolation between samples, identical
+    # across numpy versions.
+    if served:
+        latencies = np.array([r.latency_ms for r in served])
+        p50, p95, p99 = (
+            float(np.percentile(latencies, q, method="nearest"))
+            for q in (50, 95, 99)
+        )
+    else:
+        p50 = p95 = p99 = None
     return {
         "requests": len(mine),
         "served": len(served),
         "shed": shed,
         "shed_rate": shed / max(len(mine), 1),
         "errors": sum(1 for r in mine if not r.ok and not r.shed),
-        "p50_ms": float(np.percentile(latencies, 50)),
-        "p95_ms": float(np.percentile(latencies, 95)),
-        "p99_ms": float(np.percentile(latencies, 99)),
+        "p50_ms": p50,
+        "p95_ms": p95,
+        "p99_ms": p99,
         "degraded": sum(1 for r in mine if r.degraded),
     }
 
@@ -242,8 +253,10 @@ def run_serve(
             point[profile.name] = stats
             rows.append([
                 clients, profile.name, stats["requests"],
-                f"{stats['p50_ms']:.3f}", f"{stats['p95_ms']:.3f}",
-                f"{stats['p99_ms']:.3f}",
+                *(
+                    "-" if stats[k] is None else f"{stats[k]:.3f}"
+                    for k in ("p50_ms", "p95_ms", "p99_ms")
+                ),
                 f"{100 * stats['shed_rate']:.1f}%",
             ])
         total_shed = sum(point[p.name]["shed"] for p in settings.mix)

@@ -94,6 +94,7 @@ class TraversalService:
         resilient: bool | None = None,
         telemetry: bool = False,
         max_series: int = 64,
+        wave_width: int = 0,
     ):
         self.csr = csr
         self.config = config or EtaGraphConfig()
@@ -118,6 +119,20 @@ class TraversalService:
             from repro.observability.spans import Tracer
 
             self.tracer = Tracer()
+        from repro.core.msbfs import WAVE_LANES
+
+        if wave_width != 0 and not 2 <= wave_width <= WAVE_LANES:
+            raise ConfigError(
+                f"wave_width must be 0 (off) or in [2, {WAVE_LANES}], "
+                f"got {wave_width}"
+            )
+        #: MSBFS coalescing width: when >= 2, :meth:`drain` merges runs
+        #: of consecutive EDF-order plain BFS ``VisitRequest``s (no
+        #: early-exit target, no iteration budget) into one wave
+        #: traversal of up to this many lanes.  0 (the default) serves
+        #: every request as its own traversal — the bit-identity gate's
+        #: configuration.
+        self.wave_width = wave_width
         self._fault_plan = fault_plan
         #: Lazy single-lane pool for shortest-path requests: the same
         #: configuration with parent tracking on (path reconstruction
@@ -237,17 +252,173 @@ class TraversalService:
 
     def drain(self) -> list[TraversalResponse]:
         """Dispatch every pending admitted request in EDF order; returns
-        their terminal responses (dispatch order)."""
+        their terminal responses (dispatch order).
+
+        With :attr:`wave_width` >= 2, maximal runs of consecutive
+        wave-eligible requests at the head of the EDF order are served
+        as one MSBFS wave (:func:`repro.core.msbfs.run_wave`) on a
+        single lane — one traversal for the whole run, per-request
+        labels bit-identical to individual dispatch.
+        """
         if self._closed:
             raise SessionClosedError("traversal service is closed")
         responses = []
+        width = self.wave_width
         while len(self.queue):
-            responses.append(self._dispatch(self.queue.pop()))
+            adm = self.queue.pop()
+            if width >= 2 and self._wave_eligible(adm):
+                group = [adm]
+                while len(group) < width:
+                    head = self.queue.peek()
+                    if head is None or not self._wave_eligible(head):
+                        break
+                    group.append(self.queue.pop())
+                if len(group) >= 2:
+                    responses.extend(self._dispatch_wave(group))
+                    continue
+            responses.append(self._dispatch(adm))
         return responses
 
     # ------------------------------------------------------------------
     # Dispatch
     # ------------------------------------------------------------------
+
+    @staticmethod
+    def _wave_eligible(adm: AdmittedRequest) -> bool:
+        """Whether a request can join an MSBFS wave: a plain BFS visit —
+        no early-exit target (lanes cannot stop the shared traversal
+        individually) and no iteration budget (the wave runs to the
+        deepest lane's convergence)."""
+        request = adm.request
+        return (
+            type(request) is VisitRequest
+            and request.problem == "bfs"
+            and request.target is None
+            and adm.iteration_budget is None
+        )
+
+    def _dispatch_wave(
+        self, group: list[AdmittedRequest],
+    ) -> list[TraversalResponse]:
+        """Serve a coalesced group on one lane as one wave.
+
+        The wave starts when the lane is free *and* every member has
+        arrived; members whose deadline can't survive that start are
+        shed individually (at their own earliest-start instant) and the
+        wave re-plans around them.  Survivors finish together.
+        """
+        worker = self.pool.checkout()
+        responses: list[TraversalResponse] = []
+        try:
+            remaining = list(group)
+            while True:
+                start = max(
+                    [worker.busy_until_ms]
+                    + [a.arrival_ms for a in remaining]
+                )
+                late = [a for a in remaining if start >= a.deadline_abs]
+                if not late:
+                    break
+                late_seqs = {a.seq for a in late}
+                for adm in late:
+                    responses.append(self._shed(
+                        adm, worker,
+                        max(worker.busy_until_ms, adm.arrival_ms),
+                    ))
+                remaining = [
+                    a for a in remaining if a.seq not in late_seqs
+                ]
+                if not remaining:
+                    return responses
+            if len(remaining) == 1:
+                responses.append(self._run(remaining[0], worker, start))
+                return responses
+            responses.extend(self._run_wave(remaining, worker, start))
+            return responses
+        finally:
+            self.pool.checkin(worker)
+
+    def _run_wave(
+        self, group: list[AdmittedRequest], worker: PoolWorker,
+        start: float,
+    ) -> list[TraversalResponse]:
+        from repro.core import msbfs
+
+        sources = [a.request.source for a in group]
+        responses: list[TraversalResponse] = []
+        placement = _MODE_RUNGS[self.config.memory_mode]
+        degraded = False
+        attempts = 1
+        faults: list[str] = []
+        error: str | None = None
+        lane_results: list = []
+        service_ms = 0.0
+        try:
+            if worker.resilient:
+                outcome = worker.session.run_wave(sources)
+                wave = outcome.result
+                placement = outcome.final_placement
+                degraded = outcome.degraded
+                attempts = outcome.num_attempts
+                faults = list(outcome.faults_seen)
+            else:
+                wave = msbfs.run_wave(worker.session, sources)
+            service_ms = wave.total_ms + wave.d2h_ms
+            lane_results = wave.to_results()
+        except ReproError as exc:
+            # One traversal, one fate: a typed failure fails every lane
+            # (same lane-release rule as _run — failed work spends no
+            # simulated time later requests would queue behind).
+            error = f"{type(exc).__name__}: {exc}"
+        finish = start + service_ms
+        for lane, adm in enumerate(group):
+            request = adm.request
+            response = TraversalResponse(
+                request=request, seq=adm.seq, ok=error is None,
+                arrival_ms=adm.arrival_ms, start_ms=start,
+                worker=worker.index,
+                placement="" if error is not None else placement,
+                attempts=attempts,
+            )
+            response.finish_ms = finish
+            if error is not None:
+                response.error = error
+                self.metrics.inc(
+                    "service.errors", tenant=request.tenant,
+                    type=error.split(":", 1)[0],
+                )
+            else:
+                result = lane_results[lane]
+                response.degraded = degraded
+                response.faults_seen = list(faults)
+                response.result = result
+                response.value = result.labels
+                if degraded:
+                    self.metrics.inc("service.degraded",
+                                     tenant=request.tenant)
+            self.requests_served += 1
+            self.metrics.inc("service.requests", tenant=request.tenant,
+                             endpoint=request.endpoint)
+            self.metrics.observe(
+                "service.latency_ms", response.latency_ms,
+                tenant=request.tenant, endpoint=request.endpoint,
+            )
+            self.metrics.observe("service.queue_ms", response.queue_ms,
+                                 tenant=request.tenant)
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "request", "service", finish - start, t_ms=start,
+                    tenant=request.tenant, endpoint=request.endpoint,
+                    seq=adm.seq, worker=worker.index,
+                    ok=response.ok, placement=response.placement,
+                    queue_ms=response.queue_ms,
+                    wave=len(group), wave_lane=lane,
+                )
+            responses.append(response)
+        worker.busy_until_ms = max(worker.busy_until_ms, finish)
+        worker.served += len(group)
+        self.clock_ms = max(self.clock_ms, finish)
+        return responses
 
     def _dispatch(self, adm: AdmittedRequest) -> TraversalResponse:
         worker = self.pool.checkout()

@@ -63,7 +63,8 @@ def build_parser() -> argparse.ArgumentParser:
                              "engine (repeatable): etagraph-session runs "
                              "each case on a warm resident session, "
                              "etagraph-service through the multi-tenant "
-                             "serving frontend")
+                             "serving frontend, etagraph-msbfs through a "
+                             "packed multi-source wave")
     parser.add_argument("--no-metamorphic", action="store_true",
                         help="skip the metamorphic checks")
     parser.add_argument("--chaos", action="store_true",

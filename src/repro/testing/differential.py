@@ -267,6 +267,43 @@ def service_engine(
     return run
 
 
+def msbfs_engine(
+    config: EtaGraphConfig | None = None,
+    device: DeviceSpec = GTX_1080TI,
+    *,
+    companion_lanes: int = 7,
+) -> EngineFn:
+    """EtaGraph's MSBFS wave runner as a differential engine.
+
+    BFS cases run as one bit-packed wave: the probe source shares the
+    mask word with up to ``companion_lanes`` other sources and its lane
+    is extracted from the *last* position, so lane packing, cross-lane
+    OR propagation and per-lane level extraction all sit between the
+    oracle and the labels.  Non-BFS problems fall back to a sequential
+    session query — MSBFS only serves BFS, and a differential engine
+    must answer every case the fuzzer deals it.
+    """
+    from repro.core import msbfs
+    from repro.core.session import EngineSession
+
+    def run(csr: CSRGraph, problem_name: str, source: int) -> np.ndarray:
+        problem = get_problem(problem_name)
+        with EngineSession(csr, config, device) as session:
+            if problem.name != "bfs":
+                return session.query(problem, source).labels
+            n = csr.num_vertices
+            companions = [
+                (source + 1 + i) % n
+                for i in range(min(companion_lanes, n - 1))
+            ]
+            wave = msbfs.run_wave(
+                session, np.asarray(companions + [source], dtype=np.int64)
+            )
+            return wave.labels_for(wave.width - 1)
+
+    return run
+
+
 def baseline_engine(name: str, device: DeviceSpec = GTX_1080TI) -> EngineFn:
     """A Table III baseline as a pluggable differential engine."""
     from repro.baselines import get_framework
@@ -281,10 +318,12 @@ def baseline_engine(name: str, device: DeviceSpec = GTX_1080TI) -> EngineFn:
 #: Named extra-engine factories (``config -> EngineFn``) the fuzz CLI
 #: enables by name: ``etagraph-session`` serves each case through a warm
 #: topology-resident session, ``etagraph-service`` through the full
-#: multi-tenant serving frontend.
+#: multi-tenant serving frontend, ``etagraph-msbfs`` through a packed
+#: multi-source wave (BFS cases) with the probe in the last lane.
 EXTRA_ENGINE_FACTORIES: dict = {
     "etagraph-session": session_engine,
     "etagraph-service": service_engine,
+    "etagraph-msbfs": msbfs_engine,
 }
 
 

@@ -108,6 +108,32 @@ class TestMultiQuery:
         with pytest.raises(ConfigError):
             pick_sources(g, 2, min_degree=5)
 
+    def test_pick_sources_overask_raises_by_default(self):
+        """Asking for more sources than the graph can supply is a
+        ConfigError under the strict default — previously it silently
+        clamped, so sweeps ran fewer queries than their config claimed."""
+        g = generators.star_graph(8, out=False)  # 8 leaves -> hub
+        eligible = int(np.count_nonzero(g.out_degrees() >= 1))
+        with pytest.raises(ConfigError, match="strict=False"):
+            pick_sources(g, eligible + 1)
+
+    def test_pick_sources_clamp_is_recorded(self):
+        g = generators.star_graph(8, out=False)
+        eligible = int(np.count_nonzero(g.out_degrees() >= 1))
+        meta = {}
+        sources = pick_sources(g, eligible + 5, strict=False, meta=meta)
+        assert len(sources) == eligible
+        assert meta == {
+            "requested": eligible + 5,
+            "delivered": eligible,
+            "clamped": True,
+        }
+        # An in-range request records a no-op clamp.
+        meta = {}
+        sources = pick_sources(g, 2, strict=False, meta=meta)
+        assert len(sources) == 2
+        assert meta == {"requested": 2, "delivered": 2, "clamped": False}
+
 
 class TestDevicePresets:
     def test_v100_capacity_matches_paper_intro(self):

@@ -399,3 +399,94 @@ class TestConfig:
         assert tracked.track_parents
         assert tracked.degree_limit == config.degree_limit
         assert not tracked.with_track_parents(False).track_parents
+
+
+# ----------------------------------------------------------------------
+# Load-generator tenant stats
+# ----------------------------------------------------------------------
+
+class TestTenantStats:
+    """Regressions for the serve-bench percentile bugs: an all-shed
+    tenant used to crash ``np.percentile`` on an empty list, and linear
+    interpolation reported latencies nobody observed."""
+
+    @staticmethod
+    def _response(tenant, *, ok, shed=False, latency_ms=0.0,
+                  degraded=False):
+        from types import SimpleNamespace
+
+        return SimpleNamespace(
+            tenant=tenant, ok=ok, shed=shed, latency_ms=latency_ms,
+            degraded=degraded,
+        )
+
+    def test_all_shed_tenant_reports_none(self):
+        from repro.serving.loadgen import _tenant_stats
+
+        responses = [
+            self._response("hot", ok=False, shed=True) for _ in range(5)
+        ]
+        stats = _tenant_stats(responses, "hot")
+        assert stats["requests"] == 5
+        assert stats["served"] == 0
+        assert stats["shed"] == 5
+        assert stats["shed_rate"] == 1.0
+        # None, never a fabricated 0.0 (and never an exception).
+        assert stats["p50_ms"] is None
+        assert stats["p95_ms"] is None
+        assert stats["p99_ms"] is None
+
+    def test_percentiles_are_observed_samples(self):
+        from repro.serving.loadgen import _tenant_stats
+
+        latencies = [1.0, 2.0, 7.0, 40.0]
+        responses = [
+            self._response("t", ok=True, latency_ms=l) for l in latencies
+        ]
+        stats = _tenant_stats(responses, "t")
+        # method="nearest": every percentile is an element of the
+        # sample, not an interpolated value (linear p50 here is 4.5).
+        for key in ("p50_ms", "p95_ms", "p99_ms"):
+            assert stats[key] in latencies
+        assert stats["p50_ms"] == 7.0
+        assert stats["p99_ms"] == 40.0
+
+    def test_stats_isolate_tenants(self):
+        from repro.serving.loadgen import _tenant_stats
+
+        responses = [
+            self._response("a", ok=True, latency_ms=3.0),
+            self._response("b", ok=False, shed=True),
+            self._response("a", ok=False, shed=False, degraded=True),
+        ]
+        stats = _tenant_stats(responses, "a")
+        assert stats["requests"] == 2
+        assert stats["served"] == 1
+        assert stats["shed"] == 0
+        assert stats["errors"] == 1
+        assert stats["degraded"] == 1
+        assert stats["p50_ms"] == 3.0
+
+    def test_run_serve_renders_all_shed_tenant(self):
+        """End to end: a tenant whose every request arrives with a spent
+        deadline produces a rendered row ('-' cells), not a crash."""
+        from repro.serving.loadgen import (
+            LoadSettings, TenantProfile, run_serve,
+        )
+
+        doomed = TenantProfile(
+            name="doomed",
+            endpoints=(("visit", 1.0),),
+            deadline_ms=0.0,
+            think_ms=0.0,
+            quota=TenantQuota(max_pending=8),
+        )
+        settings = LoadSettings(
+            graph="livejournal", pool_size=1, client_counts=(2,),
+            requests_per_client=2, mix=(doomed,),
+        )
+        report = run_serve(settings=settings)
+        stats = report.data["clients_2"]["doomed"]
+        assert stats["served"] == 0
+        assert stats["p50_ms"] is None
+        assert "doomed" in report.text and "-" in report.text

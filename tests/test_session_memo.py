@@ -72,6 +72,68 @@ class TestMemoBitIdentity:
             assert on.memo_hits > 0
 
 
+class TestMemoCollision:
+    def test_digest_collision_is_served_as_miss(self, social, monkeypatch):
+        """Two different frontiers forced onto one digest must NOT share
+        a memo entry: the entry stores the exact active-set bytes and a
+        mismatch demotes the hit to a miss (counted in
+        ``memo_collisions``).  Pre-fix, the second query silently reused
+        the first query's expansion and produced wrong labels."""
+        from repro.core import session as session_module
+
+        baseline = {}
+        with EngineSession(social) as ses:
+            for s in (0, 7):
+                baseline[s] = ses.query("bfs", s).labels.copy()
+
+        class _ConstantDigest:
+            def __init__(self, *_args, **_kwargs):
+                pass
+
+            def digest(self):
+                return b"\x00" * 16
+
+        monkeypatch.setattr(
+            session_module.hashlib, "blake2b", _ConstantDigest
+        )
+        with EngineSession(social) as ses:
+            r0 = ses.query("bfs", 0)
+            r7 = ses.query("bfs", 7)
+            # The seed frontiers {0} and {7} share num_active and the
+            # labels buffer, so under a constant digest their keys
+            # collide; the exact-bytes check must catch it.
+            assert ses.memo_collisions > 0
+            assert ses.memo_hits == 0
+            assert np.array_equal(r0.labels, baseline[0])
+            assert np.array_equal(r7.labels, baseline[7])
+            snap = ses.metrics_snapshot()
+            assert snap["gauges"]["memo.collisions"] == ses.memo_collisions
+
+    def test_identical_frontiers_still_hit(self, social, monkeypatch):
+        """The exact-bytes verification must not break genuine reuse:
+        replaying a query under a constant digest still hits."""
+        from repro.core import session as session_module
+
+        class _ConstantDigest:
+            def __init__(self, *_args, **_kwargs):
+                pass
+
+            def digest(self):
+                return b"\x01" * 16
+
+        monkeypatch.setattr(
+            session_module.hashlib, "blake2b", _ConstantDigest
+        )
+        with EngineSession(social) as ses:
+            first = ses.query("bfs", 4)
+            second = ses.query("bfs", 4)
+            # Frontiers whose sizes repeat within the query thrash the
+            # colliding slot, but every unique-size frontier must still
+            # hit on the replay.
+            assert ses.memo_hits > 0
+            assert np.array_equal(first.labels, second.labels)
+
+
 class TestMemoAccounting:
     def test_repeated_source_hits(self, social):
         with EngineSession(social) as ses:
