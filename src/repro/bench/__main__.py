@@ -9,6 +9,7 @@ Usage::
     python -m repro.bench perf          # simulator wall-clock harness
     python -m repro.bench serve         # closed-loop serving load bench
     python -m repro.bench msbfs         # MSBFS wave vs sequential batch
+    python -m repro.bench compress      # compressed topology + placements
     python -m repro.bench compare A B   # diff two --json-dir outputs
 """
 
@@ -74,6 +75,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.perf.msbfs import main as msbfs_main
 
         return msbfs_main(argv[1:])
+    if argv[:1] == ["compress"]:
+        from repro.perf.compress import main as compress_main
+
+        return compress_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
         description="Regenerate the paper's tables and figures.",
@@ -82,7 +87,7 @@ def main(argv: list[str] | None = None) -> int:
         "experiment",
         nargs="?",
         help=f"one of: {', '.join(sorted(ALL_EXPERIMENTS))}, 'all', "
-        "'perf', 'serve', 'msbfs', or 'compare A B'",
+        "'perf', 'serve', 'msbfs', 'compress', or 'compare A B'",
     )
     parser.add_argument(
         "--quick", action="store_true",
@@ -110,6 +115,7 @@ def main(argv: list[str] | None = None) -> int:
             print(f"  {name}")
         print("  perf  (simulator wall-clock harness)")
         print("  msbfs (MSBFS wave vs sequential batch)")
+        print("  compress (compressed topology + placement throughput)")
         return 0
 
     if args.experiment == "all":

@@ -18,6 +18,11 @@ machines, and only bad in one direction — so they get the generous
 ``wall_tolerance`` and are flagged only when they *regress* (throughput
 ``wall_*_per_sec`` falling, any other ``wall_*`` time rising).  A faster
 candidate never fails the gate.
+
+``bits_*`` leaves (``bits_per_edge``, ``bits_per_node`` — compression
+density from :mod:`repro.perf.compress` and Table I) are deterministic
+but also one-sided: a *denser* encoding is an improvement, so they use
+the tight ``rel_tolerance`` and are flagged only when they **rise**.
 """
 
 from __future__ import annotations
@@ -74,6 +79,12 @@ def is_wall_metric(path: str) -> bool:
     return path.rsplit(".", 1)[-1].startswith("wall_")
 
 
+def is_bits_metric(path: str) -> bool:
+    """Whether a leaf path is a compression-density measurement
+    (``bits_per_edge`` / ``bits_per_node`` style)."""
+    return path.rsplit(".", 1)[-1].startswith("bits_")
+
+
 def _wall_regressed(path: str, before: float, after: float,
                     tolerance: float) -> bool:
     """Direction-aware gate for wall metrics: throughputs may not fall,
@@ -99,6 +110,14 @@ def compare_reports(
         x, y = b[path], a[path]
         if is_wall_metric(path):
             if _wall_regressed(path, x, y, wall_tolerance):
+                drifts.append(
+                    Drift(experiment=name, path=path, before=x, after=y)
+                )
+            continue
+        if is_bits_metric(path):
+            # Direction-aware but tight: the encoding is deterministic,
+            # and only *losing* density is a regression.
+            if (y - x) / max(abs(x), 1e-12) > rel_tolerance:
                 drifts.append(
                     Drift(experiment=name, path=path, before=x, after=y)
                 )

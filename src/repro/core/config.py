@@ -29,10 +29,23 @@ class MemoryMode(enum.Enum):
     #: discusses and rejects this: read-only topology re-pays the bus on
     #: every iteration, so UM dominates it for traversal).
     ZERO_COPY = "zero_copy"
+    #: Pinned host memory read at 128-byte-sector granularity, touching
+    #: only the bytes each frontier actually expands (EMOGI's direct
+    #: access).  Unlike ``ZERO_COPY``'s whole-stream bus reads and UM's
+    #: 4 KiB page migrations, sparse frontiers pay for exactly their
+    #: sectors — the out-of-core placement that wins when the working
+    #: set per iteration is far below a page-granular footprint.
+    DIRECT_ACCESS = "direct_access"
 
     @property
     def uses_um(self) -> bool:
         return self in (MemoryMode.UM_PREFETCH, MemoryMode.UM_ON_DEMAND)
+
+    @property
+    def host_resident(self) -> bool:
+        """Topology stays in pinned host memory (no device copy, no UM
+        residency): the zero-copy and direct-access placements."""
+        return self in (MemoryMode.ZERO_COPY, MemoryMode.DIRECT_ACCESS)
 
 
 @dataclass(frozen=True)

@@ -53,8 +53,9 @@ from repro.gpu.kernel import simulate_streaming_kernel, simulate_vertex_kernel
 from repro.gpu.memory import DeviceArray, DeviceMemory
 from repro.gpu.profiler import Profiler
 from repro.gpu.timeline import Timeline
-from repro.gpu.transfer import d2h_copy, h2d_copy
+from repro.gpu.transfer import d2h_copy, direct_access_read, h2d_copy
 from repro.gpu.um import UnifiedMemoryManager
+from repro.graph.compressed import CompressedCSRGraph
 from repro.graph.csr import CSRGraph
 from repro.utils.ragged import ragged_gather_indices
 from repro.utils.sorting import sorted_unique
@@ -129,13 +130,23 @@ class EngineSession:
 
     def __init__(
         self,
-        csr: CSRGraph,
+        csr: CSRGraph | CompressedCSRGraph,
         config: EtaGraphConfig | None = None,
         device: DeviceSpec = GTX_1080TI,
         *,
         injector=None,
     ):
-        self.csr = csr
+        #: What the caller asked to serve: dense CSR or the compressed
+        #: topology.  Placement moves (and space-accounts) *this*.
+        self.topology = csr
+        #: Whether the resident topology is the compressed format (the
+        #: payload + row-byte-offset arrays instead of dense words).
+        self.compressed = isinstance(csr, CompressedCSRGraph)
+        # Traversal itself always runs against the exact dense view —
+        # compression changes what moves over the bus, never the labels.
+        # ``decode()`` is cached on the compressed graph, so sessions
+        # sharing one topology share one decode.
+        self.csr = csr.decode() if self.compressed else csr
         self.config = config or EtaGraphConfig()
         self.device = device
 
@@ -254,7 +265,7 @@ class EngineSession:
     def _topo_kind(self) -> str:
         if self.config.memory_mode.uses_um:
             return "um"
-        if self.config.memory_mode is MemoryMode.ZERO_COPY:
+        if self.config.memory_mode.host_resident:
             return "zerocopy"
         return "device"
 
@@ -289,8 +300,9 @@ class EngineSession:
                 self.setup_ms += dt
                 if tr is not None:
                     tr.emit("um.register", "engine", dt, array=arr.name)
-        elif self.config.memory_mode is MemoryMode.ZERO_COPY:
-            # Pinning + mapping the host buffers (cudaHostAlloc path).
+        elif self.config.memory_mode.host_resident:
+            # Pinning + mapping the host buffers (cudaHostAlloc path);
+            # zero-copy and direct access both serve reads from here.
             dt = len(arrays) * spec.um_alloc_overhead_us * 1e-3
             clock += dt
             self.setup_ms += dt
@@ -318,16 +330,24 @@ class EngineSession:
         clock: float,
         tr=None,
     ) -> float:
-        """Allocate + install CSR arrays still missing for ``problem``."""
+        """Allocate + install topology arrays still missing for ``problem``.
+
+        Compressed sessions place the *compressed* arrays — the varint
+        payload rides under the ``column_indices`` name and the row byte
+        offsets under ``row_offsets``, so every downstream consumer
+        (trace plans, UM residency, transfer accounting) sizes itself
+        off the bytes that would actually move on real hardware.
+        """
         csr = self.csr
         kind = self._topo_kind()
         new: list[DeviceArray] = []
         if self._offsets_arr is None:
+            topo = self.topology.device_arrays()
             self._offsets_arr = self.memory.alloc(
-                "row_offsets", csr.row_offsets, kind=kind
+                "row_offsets", topo["row_offsets"], kind=kind
             )
             self._cols_arr = self.memory.alloc(
-                "column_indices", csr.column_indices, kind=kind
+                "column_indices", topo["column_indices"], kind=kind
             )
             new += [self._offsets_arr, self._cols_arr]
         if problem.needs_weights and self._weights_arr is None:
@@ -473,6 +493,22 @@ class EngineSession:
         if self._closed:
             raise SessionClosedError("session is closed")
 
+    def _adj_byte_ranges(
+        self, starts: np.ndarray, degrees: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Resident-topology byte ranges backing the adjacency slices
+        ``[start, start + degree)`` — varint payload bytes for a
+        compressed session, ``4 * start / 4 * degree`` dense words
+        otherwise.  This is the single point where every out-of-core
+        placement (UM faulting, zero-copy, direct access) learns how
+        many bytes a frontier expansion actually moves."""
+        if self.compressed:
+            return self.topology.edge_byte_ranges(starts, degrees)
+        return (
+            np.asarray(starts, dtype=np.int64) * 4,
+            np.asarray(degrees, dtype=np.int64) * 4,
+        )
+
     # ------------------------------------------------------------------
     # Frontier memo
     # ------------------------------------------------------------------
@@ -518,6 +554,13 @@ class EngineSession:
         # ones even if the mask buffer were to land at a recycled
         # address; the expansion itself is mask-content independent, so
         # the lane count — not the mask bits — is the right key.
+        # The placement mode and compression flag are part of the key
+        # even though they are session-fixed: the bump allocator is
+        # deterministic, so two sessions over the same graph hand
+        # identical base addresses to differently-placed topologies —
+        # any future sharing of memo entries across sessions (a pool, a
+        # serialized cache) must never let a dense-device trace plan
+        # serve a compressed or direct-access frontier.
         digest = hashlib.blake2b(active_bytes, digest_size=16).digest()
         return (
             digest,
@@ -526,6 +569,8 @@ class EngineSession:
             labels_arr.itemsize,
             weights_arr.base_address if weights_arr is not None else -1,
             wave_lanes,
+            self.config.memory_mode.value,
+            self.compressed,
         )
 
     def _memo_get(
@@ -754,14 +799,22 @@ class EngineSession:
             migration_ms = 0.0
             migration_bytes = 0
             zero_copy_ms = 0.0
+            direct_ms = 0.0
+            direct_bytes = 0
             if cfg.memory_mode is MemoryMode.ZERO_COPY and len(shadows):
                 # Every topology read crosses PCIe, every iteration, at
                 # the poor efficiency of fine-grained bus reads.  This is
                 # what makes UM strictly better for read-only topology
-                # (Section IV-B).
-                weight_mult = 2 if weights_arr is not None else 1
-                zc_bytes = (len(active) * 8
-                            + shadows.total_edges * 4 * weight_mult)
+                # (Section IV-B).  Compressed topology shrinks the
+                # adjacency stream to its payload bytes; weights stay
+                # dense.
+                _, zc_lens = self._adj_byte_ranges(
+                    shadows.starts, shadows.degrees
+                )
+                zc_bytes = (len(active) * 2 * offsets_arr.itemsize
+                            + int(zc_lens.sum()))
+                if weights_arr is not None:
+                    zc_bytes += shadows.total_edges * 4
                 zero_copy_ms = spec.bytes_time_ms(
                     zc_bytes, spec.pcie_bandwidth_gbps * 0.35
                 )
@@ -770,31 +823,75 @@ class EngineSession:
                 if tr is not None:
                     tr.emit("zerocopy", "transfer", zero_copy_ms, t_ms=clock,
                             nbytes=float(zc_bytes))
+            if cfg.memory_mode is MemoryMode.DIRECT_ACCESS and len(shadows):
+                # EMOGI-style direct access: the kernel's topology loads
+                # cross PCIe as deduplicated 128-byte sector reads
+                # covering exactly the offsets entries and adjacency
+                # bytes this frontier expands — never a whole 4 KiB UM
+                # page.  Base addresses keep the three arrays' sectors
+                # distinct.
+                off_item = offsets_arr.itemsize
+                ids64 = np.asarray(active, dtype=np.int64)
+                range_starts = [offsets_arr.base_address + ids64 * off_item]
+                range_lens = [np.full(len(ids64), 2 * off_item,
+                                      dtype=np.int64)]
+                adj_starts, adj_lens = self._adj_byte_ranges(
+                    shadows.starts, shadows.degrees
+                )
+                range_starts.append(cols_arr.base_address + adj_starts)
+                range_lens.append(adj_lens)
+                if weights_arr is not None:
+                    range_starts.append(
+                        weights_arr.base_address
+                        + shadows.starts.astype(np.int64) * 4
+                    )
+                    range_lens.append(shadows.degrees.astype(np.int64) * 4)
+                if tr is not None:
+                    tr.cursor_ms = clock
+                direct_ms, direct_bytes = direct_access_read(
+                    spec, prof,
+                    np.concatenate(range_starts),
+                    np.concatenate(range_lens),
+                    injector=self.injector, tracer=tr,
+                    label=f"direct-access-{iteration}",
+                )
+                if direct_ms:
+                    timeline.add("transfer", clock, clock + direct_ms,
+                                 nbytes=direct_bytes,
+                                 label=f"direct-{iteration}")
             if um is not None and cfg.memory_mode is MemoryMode.UM_ON_DEMAND:
                 # Migration overlaps the kernel, so its trace events tile
                 # from the iteration start, not from the cursor's
                 # post-transform position.
                 if tr is not None:
                     tr.cursor_ms = clock
+                off_item = offsets_arr.itemsize
                 batches = [
                     um.touch_byte_ranges(
                         offsets_arr,
-                        np.asarray(active, dtype=np.int64) * 4,
-                        np.full(len(active), 8, dtype=np.int64),
+                        np.asarray(active, dtype=np.int64) * off_item,
+                        np.full(len(active), 2 * off_item, dtype=np.int64),
                         prof, tr,
                     )
                 ]
                 if len(shadows):
-                    starts_b = shadows.starts * 4
-                    lens_b = shadows.degrees * 4
+                    starts_b, lens_b = self._adj_byte_ranges(
+                        shadows.starts, shadows.degrees
+                    )
                     batches.append(
                         um.touch_byte_ranges(cols_arr, starts_b, lens_b,
                                              prof, tr)
                     )
                     if weights_arr is not None:
+                        # Weights stay dense float32 whatever the
+                        # topology encoding.
                         batches.append(
-                            um.touch_byte_ranges(weights_arr, starts_b, lens_b,
-                                                 prof, tr)
+                            um.touch_byte_ranges(
+                                weights_arr,
+                                shadows.starts.astype(np.int64) * 4,
+                                shadows.degrees.astype(np.int64) * 4,
+                                prof, tr,
+                            )
                         )
                 migration_ms = sum(b.time_ms for b in batches)
                 migration_bytes = sum(b.bytes_moved for b in batches)
@@ -803,14 +900,19 @@ class EngineSession:
                 # Prefetched but oversubscribed: evicted pages re-fault.
                 if tr is not None:
                     tr.cursor_ms = clock
-                starts_b = shadows.starts * 4
-                lens_b = shadows.degrees * 4
+                starts_b, lens_b = self._adj_byte_ranges(
+                    shadows.starts, shadows.degrees
+                )
                 batches = [um.touch_byte_ranges(cols_arr, starts_b, lens_b,
                                                 prof, tr)]
                 if weights_arr is not None:
                     batches.append(
-                        um.touch_byte_ranges(weights_arr, starts_b, lens_b,
-                                             prof, tr)
+                        um.touch_byte_ranges(
+                            weights_arr,
+                            shadows.starts.astype(np.int64) * 4,
+                            shadows.degrees.astype(np.int64) * 4,
+                            prof, tr,
+                        )
                     )
                 migration_ms = sum(b.time_ms for b in batches)
                 migration_bytes = sum(b.bytes_moved for b in batches)
@@ -935,10 +1037,12 @@ class EngineSession:
                 timeline.add("compute", clock, clock + iter_ms)
                 timeline.add("transfer", clock, clock + migration_ms,
                              nbytes=migration_bytes, label=f"iter-{iteration}")
-            elif zero_copy_ms > 0:
-                # Zero-copy reads are the kernel's own loads: fully
-                # pipelined, so the slower of the two pipelines governs.
-                iter_ms = max(compute_ms, zero_copy_ms)
+            elif zero_copy_ms > 0 or direct_ms > 0:
+                # Zero-copy and direct-access reads are the kernel's own
+                # loads: fully pipelined, so the slower of the two
+                # pipelines governs.  At most one of the two is nonzero
+                # (they are exclusive placements).
+                iter_ms = max(compute_ms, zero_copy_ms + direct_ms)
                 timeline.add("compute", clock, clock + iter_ms)
             else:
                 iter_ms = compute_ms

@@ -7,6 +7,7 @@ space-overhead comparison.
 """
 
 from repro.graph.csr import CSRGraph
+from repro.graph.compressed import CompressedCSRGraph, compress
 from repro.graph.csc import CSCGraph
 from repro.graph.edgelist import EdgeList
 from repro.graph.gshard import GShards
@@ -16,6 +17,8 @@ from repro.graph import generators, io, properties, datasets, weights
 
 __all__ = [
     "CSRGraph",
+    "CompressedCSRGraph",
+    "compress",
     "CSCGraph",
     "EdgeList",
     "GShards",

@@ -174,8 +174,13 @@ class CSRGraph:
         return total
 
     def topology_words(self) -> int:
-        """The paper's Table I metric: topology size in 4-byte words."""
-        return (self.row_offsets.nbytes + self.column_indices.nbytes) // WORD_BYTES
+        """The paper's Table I metric: topology size in 4-byte words.
+
+        Exactly ``|E| + |V|`` — Table I counts one offset word per
+        vertex; the storage sentinel (``row_offsets[|V|]``) is an
+        implementation detail the paper's accounting excludes.
+        """
+        return self.num_edges + self.num_vertices
 
     def device_arrays(self) -> dict[str, np.ndarray]:
         """Arrays a framework must place in device memory to traverse."""

@@ -173,6 +173,38 @@ UK_2006 = _register(
     )
 )
 
+UK_2005_X8 = _register(
+    DatasetSpec(
+        name="uk-2005-x8",
+        kind="web",
+        paper=PaperStats(39_000_000, 936_000_000, 23.7, 16.0, 65.2),
+        # Raised-scale tier: the uk-2005 surrogate at 1/32 linear scale
+        # (8x the standard 1/256) with the same crawl shape.  Its dense
+        # topology (~116 MiB) is ~2.7x the scaled device capacity —
+        # genuinely out-of-core, which is what the compressed-topology
+        # and direct-access placements exist for.
+        builder=lambda: generators.web_chain(
+            1_218_750, 29_250_000, depth=196, leaf_fraction=0.34, seed=35
+        ),
+        source_strategy="vertex0",
+    )
+)
+
+UK_2005_X4 = _register(
+    DatasetSpec(
+        name="uk-2005-x4",
+        kind="web",
+        paper=PaperStats(39_000_000, 936_000_000, 23.7, 16.0, 65.2),
+        # Quick-mode rung of the raised tier (1/64 linear scale): dense
+        # topology ~1.3x device capacity, so it still oversubscribes
+        # while keeping CI runs fast.
+        builder=lambda: generators.web_chain(
+            609_375, 14_625_000, depth=196, leaf_fraction=0.34, seed=35
+        ),
+        source_strategy="vertex0",
+    )
+)
+
 #: Table II / Table III dataset order.
 ALL_DATASETS = (
     "slashdot",
@@ -186,6 +218,12 @@ ALL_DATASETS = (
 
 #: A smaller grid for quick tests and CI-ish runs.
 SMALL_DATASETS = ("slashdot", "livejournal", "com-orkut")
+
+#: Raised-scale surrogate tier (1/32 and 1/64 linear scale instead of
+#: the standard 1/256): oversubscribed against the scaled device, for
+#: out-of-core placement experiments.  Deliberately *not* part of
+#: ``ALL_DATASETS`` — Table II/III sweeps stay at the standard scale.
+RAISED_DATASETS = ("uk-2005-x8", "uk-2005-x4")
 
 
 def get_spec(name: str) -> DatasetSpec:

@@ -29,6 +29,11 @@ when constructed with an injector):
   semantics: the corruption never reaches the caller as a wrong answer).
 * ``memo_lookup`` — a ``memo_invalidate`` fault flushes the session's
   frontier memo (results must be bit-identical with or without it).
+* ``direct_access`` — :func:`repro.gpu.transfer.direct_access_read`
+  consults it per iteration under the ``direct_access`` placement; a
+  ``direct_access_fault`` raises :class:`~repro.errors.TransferError`
+  before any time or bytes are recorded (a failed bus read, transient —
+  retryable like an explicit copy).
 
 Every fired fault is appended to :attr:`FaultInjector.fired`, which the
 resilience layer copies into its :class:`~repro.resilience.session.
@@ -51,11 +56,12 @@ from repro.errors import (
 
 #: Fault kinds a plan may schedule, keyed by the event stream they ride.
 FAULT_KINDS = (
-    "alloc_oom",        # alloc events
-    "transfer_fault",   # h2d/d2h copy events
-    "um_stall",         # UM migration-batch events
-    "bitflip",          # traversal kernel launches
-    "memo_invalidate",  # frontier-memo lookups
+    "alloc_oom",            # alloc events
+    "transfer_fault",       # h2d/d2h copy events
+    "um_stall",             # UM migration-batch events
+    "bitflip",              # traversal kernel launches
+    "memo_invalidate",      # frontier-memo lookups
+    "direct_access_fault",  # direct-access PCIe sector reads
 )
 
 #: A ``um_stall`` whose ``param`` (milliseconds) reaches this threshold is
@@ -232,6 +238,15 @@ class FaultInjector:
         raise DataCorruptionError(
             f"ECC: detected bit flip in labels[{vertex}] (bit {bit})"
         )
+
+    def on_direct_access(self, nbytes: int) -> None:
+        """Direct-access read hook: may raise an injected transient bus
+        failure (the ``direct_access`` placement's fault surface)."""
+        if self._next("direct_access_fault") is not None:
+            self._record("direct_access_fault", f"{int(nbytes)} B")
+            raise TransferError(
+                f"injected direct-access read failure ({int(nbytes)} B)"
+            )
 
     def on_memo_lookup(self, session) -> None:
         """Frontier-memo hook: an injected invalidation flushes the memo

@@ -5,11 +5,11 @@ with the failure semantics a serving deployment needs (the ROADMAP's
 north star), built on the paper's own observation that memory placement
 is a *ladder*, not a binary: Table III's baselines die with ``O.O.M``
 where EtaGraph's UM oversubscription survives, and EMOGI pushes the same
-idea one rung further (zero-copy access when even UM thrashes).  The
-ladder here:
+idea one rung further (sector-granular direct access, then zero-copy,
+when even UM thrashes).  The ladder here:
 
     device-resident -> UM prefetch -> UM oversubscribed (on-demand)
-        -> zero-copy -> CPU reference oracle
+        -> direct access -> zero-copy -> CPU reference oracle
 
 A query enters at the rung matching its configured
 :class:`~repro.core.config.MemoryMode` and only ever moves *down*:
@@ -62,6 +62,7 @@ from repro.errors import (
 from repro.gpu.device import DeviceSpec, GTX_1080TI
 from repro.gpu.profiler import Profiler
 from repro.gpu.timeline import Timeline
+from repro.graph.compressed import CompressedCSRGraph
 from repro.graph.csr import CSRGraph
 from repro.resilience.faults import FaultInjector, FaultPlan
 
@@ -69,13 +70,15 @@ from repro.resilience.faults import FaultInjector, FaultPlan
 #: is UM with on-demand migration — the mode whose paging survives
 #: working sets beyond device capacity (the paper's uk-2006 case).
 LADDER: tuple[str, ...] = (
-    "device", "um_prefetch", "um_oversubscribed", "zero_copy", "cpu_oracle",
+    "device", "um_prefetch", "um_oversubscribed", "direct_access",
+    "zero_copy", "cpu_oracle",
 )
 
 _RUNG_MODES: dict[str, MemoryMode] = {
     "device": MemoryMode.DEVICE,
     "um_prefetch": MemoryMode.UM_PREFETCH,
     "um_oversubscribed": MemoryMode.UM_ON_DEMAND,
+    "direct_access": MemoryMode.DIRECT_ACCESS,
     "zero_copy": MemoryMode.ZERO_COPY,
 }
 
@@ -83,6 +86,7 @@ _MODE_RUNGS: dict[MemoryMode, str] = {
     MemoryMode.DEVICE: "device",
     MemoryMode.UM_PREFETCH: "um_prefetch",
     MemoryMode.UM_ON_DEMAND: "um_oversubscribed",
+    MemoryMode.DIRECT_ACCESS: "direct_access",
     MemoryMode.ZERO_COPY: "zero_copy",
 }
 
@@ -194,14 +198,22 @@ class ResilientSession:
 
     def __init__(
         self,
-        csr: CSRGraph,
+        csr: "CSRGraph | CompressedCSRGraph",
         config: EtaGraphConfig | None = None,
         device: DeviceSpec = GTX_1080TI,
         *,
         fault_plan: FaultPlan | None = None,
         policy: RetryPolicy | None = None,
     ):
-        self.csr = csr
+        #: The topology as handed in — possibly a
+        #: :class:`~repro.graph.compressed.CompressedCSRGraph`; every rung
+        #: session places *this*, so degradation never silently swaps the
+        #: encoding out from under the caller.
+        self.topology = csr
+        #: Dense view for the CPU-oracle floor (and host-side checks).
+        self.csr = (
+            csr.decode() if isinstance(csr, CompressedCSRGraph) else csr
+        )
         self.config = config or EtaGraphConfig()
         self.device = device
         self.policy = policy or RetryPolicy()
@@ -274,7 +286,7 @@ class ResilientSession:
         session = self._sessions.get(rung)
         if session is None:
             session = EngineSession(
-                self.csr, self._rung_config(rung), self.device,
+                self.topology, self._rung_config(rung), self.device,
                 injector=self.injector,
             )
             self._sessions[rung] = session

@@ -34,7 +34,7 @@ _GRAPH_KINDS = (
 _DEGREE_LIMITS = (1, 2, 3, 4, 8, 32, 256)
 _MEMORY_MODES = (
     MemoryMode.UM_PREFETCH, MemoryMode.UM_ON_DEMAND,
-    MemoryMode.DEVICE, MemoryMode.ZERO_COPY,
+    MemoryMode.DEVICE, MemoryMode.ZERO_COPY, MemoryMode.DIRECT_ACCESS,
 )
 
 

@@ -162,8 +162,9 @@ class TestConversions:
 class TestSpaceAccounting:
     def test_topology_words_formula(self, skewed_graph):
         g = skewed_graph
-        # |E| + |V| + 1 words: column indices plus offsets array.
-        assert g.topology_words() == g.num_edges + g.num_vertices + 1
+        # |E| + |V| words — Table I's accounting; the offsets array's
+        # storage sentinel is excluded.
+        assert g.topology_words() == g.num_edges + g.num_vertices
 
     def test_nbytes_includes_weights(self, weighted_skewed_graph):
         g = weighted_skewed_graph

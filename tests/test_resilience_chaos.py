@@ -26,8 +26,8 @@ class TestChaosSweep:
     def test_sweep_exercises_every_ladder_rung(self):
         report = run_chaos(max_plans=200, seed=0)
         assert set(report.placements) == {
-            "device", "um_prefetch", "um_oversubscribed", "zero_copy",
-            "cpu_oracle",
+            "device", "um_prefetch", "um_oversubscribed", "direct_access",
+            "zero_copy", "cpu_oracle",
         }
 
     def test_sweep_surfaces_typed_errors_too(self):
