@@ -226,6 +226,19 @@ def add_service(reg: MetricsRegistry, service) -> None:
     reg.set_gauge("service.clock_ms", service.clock_ms)
     reg.set_gauge("service.requests_served", service.requests_served)
     reg.set_gauge("service.requests_shed", service.requests_shed)
+    plane = getattr(service, "health", None)
+    if plane is not None:
+        # Self-healing plane (repro.serving.health): live lane scores,
+        # breaker/hedge activity and the brownout level.
+        reg.set_gauge("service.health_aggregate", plane.aggregate)
+        reg.set_gauge("service.brownout_level", float(plane.level))
+        reg.set_gauge("service.hedges", plane.hedges)
+        reg.set_gauge("service.hedge_wins", plane.hedge_wins)
+        for lane in plane.lanes:
+            reg.set_gauge("service.lane_health", lane.score,
+                          lane=str(lane.index))
+            reg.set_gauge("service.lane_opens", lane.opens,
+                          lane=str(lane.index))
 
 
 def add_run_outcome(reg: MetricsRegistry, outcome) -> None:

@@ -100,6 +100,14 @@ class RetryPolicy:
     max_retries: int = 2
     #: Simulated backoff before retry r: ``backoff_base_ms * 2**(r-1)``.
     backoff_base_ms: float = 1.0
+    #: Seeded-deterministic backoff jitter: each retry's backoff is
+    #: stretched by a factor drawn uniformly from ``[1, 1 + jitter]``
+    #: out of the session's own seeded stream (``jitter_seed``), so
+    #: lanes sharing a fault plan stop retrying in lockstep (the classic
+    #: synchronized retry storm).  0.0 (the default) draws nothing and
+    #: keeps the exact pre-jitter schedule — the resilience identity
+    #: gate runs against this configuration.
+    jitter: float = 0.0
     #: Host wall-clock budget per query (None = unbounded).  Checked
     #: between attempts; tripping it raises ``DeadlineExceededError``.
     deadline_ms: float | None = None
@@ -115,6 +123,8 @@ class RetryPolicy:
             raise ConfigError("max_retries must be >= 0")
         if self.backoff_base_ms < 0:
             raise ConfigError("backoff_base_ms must be >= 0")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ConfigError("jitter must be in [0, 1]")
         if self.deadline_ms is not None and self.deadline_ms < 0:
             raise ConfigError("deadline_ms must be >= 0")
         if self.max_iterations is not None and self.max_iterations < 1:
@@ -204,6 +214,7 @@ class ResilientSession:
         *,
         fault_plan: FaultPlan | None = None,
         policy: RetryPolicy | None = None,
+        jitter_seed: int = 0,
     ):
         #: The topology as handed in — possibly a
         #: :class:`~repro.graph.compressed.CompressedCSRGraph`; every rung
@@ -220,6 +231,12 @@ class ResilientSession:
         self.injector = (
             FaultInjector(fault_plan) if fault_plan is not None else None
         )
+        #: Seed of this session's backoff-jitter stream (pool lanes pass
+        #: their lane index, desynchronizing shared fault plans).  The
+        #: stream is only ever drawn from when ``policy.jitter > 0``, so
+        #: jitter-off schedules are byte-identical to pre-jitter ones.
+        self.jitter_seed = jitter_seed
+        self._jitter_rng = np.random.default_rng((0x6A11E6, jitter_seed))
         #: Optional externally-owned :class:`repro.observability.Tracer`.
         #: When set (or when ``config.telemetry`` is true), every
         #: :meth:`run` records ``serve``/``attempt``/``backoff`` spans
@@ -403,8 +420,7 @@ class ResilientSession:
                             cur = self._close_attempt(tr, a_span, exc)
                         backoff = 0.0
                         if try_number <= policy.max_retries:
-                            backoff = policy.backoff_base_ms * \
-                                2.0 ** (try_number - 1)
+                            backoff = self._backoff_ms(policy, try_number)
                             outcome.backoff_ms += backoff
                             if tr is not None and backoff > 0:
                                 tr.emit("backoff", "resilience", backoff,
@@ -551,8 +567,7 @@ class ResilientSession:
                             cur = self._close_attempt(tr, a_span, exc)
                         backoff = 0.0
                         if try_number <= policy.max_retries:
-                            backoff = policy.backoff_base_ms * \
-                                2.0 ** (try_number - 1)
+                            backoff = self._backoff_ms(policy, try_number)
                             outcome.backoff_ms += backoff
                             if tr is not None and backoff > 0:
                                 tr.emit("backoff", "resilience", backoff,
@@ -652,6 +667,16 @@ class ResilientSession:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+
+    def _backoff_ms(self, policy: RetryPolicy, try_number: int) -> float:
+        """Simulated backoff before retry ``try_number``: exponential in
+        the try number, stretched by this session's seeded jitter draw
+        when ``policy.jitter > 0``.  The jitter stream is untouched at
+        ``jitter == 0`` so jitter-off schedules replay byte-identically."""
+        backoff = policy.backoff_base_ms * 2.0 ** (try_number - 1)
+        if policy.jitter > 0.0 and backoff > 0.0:
+            backoff *= 1.0 + policy.jitter * float(self._jitter_rng.random())
+        return backoff
 
     def _check_deadline(self, started: float, policy: RetryPolicy) -> None:
         deadline = policy.deadline_ms

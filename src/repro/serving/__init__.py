@@ -19,8 +19,13 @@ The layer stack, bottom up:
   simulated clock (bare or resilient);
 * :mod:`repro.serving.service` — :class:`TraversalService` itself:
   dispatch, load shedding, degradation, per-tenant telemetry;
-* :mod:`repro.serving.identity` — the service-vs-session bit-identity
-  gate CI runs;
+* :mod:`repro.serving.health` — the self-healing plane: lane health
+  scores, circuit breakers with warm standby replacement, hedged
+  requests, brownout control (``TraversalService(..., health=True)``);
+* :mod:`repro.serving.identity` — the service-vs-session and
+  health-plane-on/off bit-identity gates CI runs;
+* :mod:`repro.serving.chaos` — the sustained-fault self-healing battery
+  behind ``python -m repro.serving chaos``;
 * :mod:`repro.serving.loadgen` — the closed-loop load generator behind
   ``python -m repro.bench serve``.
 
@@ -28,7 +33,9 @@ See ``docs/serving.md`` for the full tour.
 """
 
 from repro.serving.admission import AdmissionQueue, AdmittedRequest, TenantQuota
-from repro.serving.identity import check_service_identity
+from repro.serving.health import HealthPlane, HealthPolicy, LaneHealth
+from repro.serving.identity import check_health_identity, \
+    check_service_identity
 from repro.serving.pool import PoolWorker, SessionPool
 from repro.serving.requests import (
     ENDPOINTS,
@@ -46,6 +53,9 @@ __all__ = [
     "ENDPOINTS",
     "AdmissionQueue",
     "AdmittedRequest",
+    "HealthPlane",
+    "HealthPolicy",
+    "LaneHealth",
     "NeighborhoodRequest",
     "PageRankRequest",
     "PoolWorker",
@@ -57,5 +67,6 @@ __all__ = [
     "TraversalResponse",
     "TraversalService",
     "VisitRequest",
+    "check_health_identity",
     "check_service_identity",
 ]

@@ -13,6 +13,14 @@ dispatch order — not the global stream on one session.
 of digest mismatches (empty = identical), using the same
 :func:`~repro.resilience.chaos.result_digest` hash the chaos gate uses.
 CI runs it via ``python -m repro.serving identity``.
+
+:func:`check_health_identity` is the companion gate for the self-healing
+plane (:mod:`repro.serving.health`): on a healthy (fault-free) request
+stream the plane must be purely observational, so the same batch served
+with ``health=True`` and ``health=None`` must agree on *every* response
+fact — labels, simulated arrival/start/finish clocks, lane, placement
+and sequence number.  CI runs it via ``python -m repro.serving identity
+--health``.
 """
 
 from __future__ import annotations
@@ -94,3 +102,71 @@ def check_service_identity(
         return [f"seq {r.seq} {r.request.describe()} failed: {r.error}"
                 for r in bad]
     return replay_mismatches(csr, responses, config, device)
+
+
+def _response_facts(response: TraversalResponse) -> tuple:
+    """Everything a healthy-path response commits to: identity of the
+    answer *and* of the simulated schedule that produced it."""
+    result = response.result
+    return (
+        response.seq,
+        response.ok,
+        response.shed,
+        response.error,
+        response.worker,
+        response.placement,
+        response.degraded,
+        response.attempts,
+        round(response.arrival_ms, 9),
+        round(response.start_ms, 9),
+        round(response.finish_ms, 9),
+        result_digest(result) if result is not None else None,
+    )
+
+
+def check_health_identity(
+    csr: CSRGraph,
+    queries: tuple[tuple[str, int], ...] = DEFAULT_QUERIES,
+    config: EtaGraphConfig | None = None,
+    device: DeviceSpec = GTX_1080TI,
+    *,
+    pool_size: int = 2,
+    resilient: bool = False,
+) -> list[str]:
+    """Serve the same healthy batch with the self-healing plane off and
+    on, and describe every response-fact divergence (empty = the plane
+    is purely observational on healthy paths).
+
+    Unlike :func:`check_service_identity` this compares the two service
+    runs against *each other* — labels **and** simulated clocks, lane
+    assignment, placement, sequence — because the plane's no-op contract
+    is about the whole schedule, not just the answer bits.  With
+    ``resilient=True`` the gate reruns over resilient (retry-capable)
+    lanes with no fault plan, covering the retry-wrapper path too.
+    """
+    config = config or EtaGraphConfig()
+    requests = [
+        VisitRequest(problem=problem, source=source)
+        for problem, source in queries
+    ]
+    runs = {}
+    for health in (None, True):
+        with TraversalService(
+            csr, config, device, pool_size=pool_size,
+            resilient=resilient, health=health,
+        ) as service:
+            runs[bool(health)] = service.serve(list(requests))
+            if health and service.health.level != 0:
+                return [
+                    "healthy stream raised brownout level "
+                    f"{service.health.level}: plane is not observational"
+                ]
+    mismatches = []
+    for off, on in zip(runs[False], runs[True]):
+        facts_off, facts_on = _response_facts(off), _response_facts(on)
+        if facts_off != facts_on:
+            mismatches.append(
+                f"seq {off.seq} {off.request.describe()}: "
+                f"health-off {facts_off} != health-on {facts_on}"
+            )
+    return mismatches

@@ -9,14 +9,20 @@ the client population).
 
 The sweep runs the same deterministic workload at increasing client
 counts and reports, per tenant and per load point, the simulated
-latency percentiles (p50/p95/p99) and the shed rate.  Because every
-quantity is simulated and every choice is seeded, the whole report is
-reproducible bit-for-bit — the numbers in ``BENCH_PR6.json`` are facts
-about the scheduler, not about the host.
+latency percentiles (p50/p95/p99), the shed rate and a typed-error
+taxonomy.  Because every quantity is simulated and every choice is
+seeded, the whole report is reproducible bit-for-bit — the numbers in
+``BENCH_PR9.json`` are facts about the scheduler, not about the host.
 
 The headline invariant (asserted by the chaos tests, visible here):
 **shed rate is monotone in offered load** — more clients can only shed
 more, never less.
+
+Two self-healing scenarios ride along (the ``health`` section of the
+report): **straggler** runs the same fault-absorbing workload with
+hedged requests off and on and shows the p99 drop at zero digest
+change, and **recovery** times one breaker's open → half-open → closed
+arc on the simulated clock.
 """
 
 from __future__ import annotations
@@ -195,17 +201,155 @@ def _tenant_stats(responses: list, tenant: str) -> dict:
         )
     else:
         p50 = p95 = p99 = None
+    # Typed-error taxonomy: failure counts by exception type name, shed
+    # excluded (sheds are accounted separately).  Faults absorbed =
+    # injected faults the resilience ladder ate on the way to an ``ok``.
+    taxonomy: dict[str, int] = {}
+    for r in mine:
+        error = getattr(r, "error", None)
+        if r.ok or r.shed or not error:
+            continue
+        name = error.split(":", 1)[0]
+        taxonomy[name] = taxonomy.get(name, 0) + 1
     return {
         "requests": len(mine),
         "served": len(served),
         "shed": shed,
         "shed_rate": shed / max(len(mine), 1),
         "errors": sum(1 for r in mine if not r.ok and not r.shed),
+        "error_taxonomy": dict(sorted(taxonomy.items())),
+        "faults_absorbed": sum(
+            len(getattr(r, "faults_seen", ())) for r in served
+        ),
         "p50_ms": p50,
         "p95_ms": p95,
         "p99_ms": p99,
         "degraded": sum(1 for r in mine if r.degraded),
     }
+
+
+def run_straggler_scenario(
+    csr, *, queries: int = 60, pool_size: int = 2,
+) -> dict:
+    """Hedge-off vs hedge-on on a straggler lane, digest-gated.
+
+    Lane 0 carries periodic transfer-fault bursts that the retry ladder
+    always absorbs (every answer stays correct, on the entry rung), so
+    its serves are slow-but-right — the classic straggler.  The same
+    sequential query stream runs with hedging off and on; the scenario
+    reports both p99s, the hedge win rate, and asserts per-request
+    ``result_digest`` equality between the legs (a won hedge moves only
+    the finish time, never the payload).  Sources are distinct so a
+    hedge leg's warm-up on the standby lane cannot leak into a later
+    repeat of the same query.
+    """
+    from repro.resilience.chaos import result_digest
+    from repro.resilience.faults import FaultPlan, FaultSpec
+    from repro.resilience.session import RetryPolicy
+    from repro.serving.health import HealthPolicy
+
+    queries = min(queries, csr.num_vertices)
+    specs = tuple(
+        FaultSpec(kind="transfer_fault", at=at, count=2)
+        for at in range(4, 2 * queries, 12)
+    )
+    legs = {}
+    for hedge in (False, True):
+        with TraversalService(
+            csr, pool_size=pool_size,
+            fault_plans={0: FaultPlan(specs=specs)},
+            policy=RetryPolicy(max_retries=6, backoff_base_ms=2.0),
+            health=HealthPolicy(
+                breakers=False, brownout=False, hedge=hedge,
+            ),
+            default_quota=TenantQuota(max_pending=max(queries, 8)),
+        ) as service:
+            outcomes = []
+            for source in range(queries):
+                response = service.call(
+                    VisitRequest(problem="bfs", source=source)
+                )
+                if not response.ok:
+                    raise AssertionError(
+                        f"straggler scenario query {source} failed "
+                        f"({'on' if hedge else 'off'}): {response.error}"
+                    )
+                outcomes.append(
+                    (result_digest(response.result), response.service_ms)
+                )
+            legs[hedge] = {
+                "outcomes": outcomes,
+                "hedges": service.health.hedges,
+                "hedge_wins": service.health.hedge_wins,
+            }
+    digest_mismatches = sum(
+        1 for (off_d, _), (on_d, _) in
+        zip(legs[False]["outcomes"], legs[True]["outcomes"])
+        if off_d != on_d
+    )
+    p99 = {
+        hedge: float(np.percentile(
+            [ms for _, ms in legs[hedge]["outcomes"]], 99,
+            method="nearest",
+        ))
+        for hedge in (False, True)
+    }
+    hedges = legs[True]["hedges"]
+    return {
+        "queries": queries,
+        "p99_off_ms": p99[False],
+        "p99_on_ms": p99[True],
+        "hedges": hedges,
+        "hedge_wins": legs[True]["hedge_wins"],
+        "hedge_win_rate": legs[True]["hedge_wins"] / max(hedges, 1),
+        "digest_mismatches": digest_mismatches,
+    }
+
+
+def run_recovery_scenario(csr, *, pool_size: int = 2) -> dict:
+    """Time one breaker's full self-healing arc on the simulated clock.
+
+    Lane 0 fails fast (no retries) through a finite sustained
+    transfer-fault window: the breaker opens, the lane is quarantined
+    and standby-replaced at the open instant, half-open probes re-admit
+    it after the quarantine window, and clean probes close it.
+    ``recovery_ms`` is first-close minus first-open — simulated
+    milliseconds, reproducible bit-for-bit.
+    """
+    from repro.resilience.faults import FaultPlan, FaultSpec
+    from repro.resilience.session import RetryPolicy
+    from repro.serving.health import HealthPolicy
+
+    plan = FaultPlan(
+        specs=(FaultSpec(kind="transfer_fault", at=0, count=12),)
+    )
+    with TraversalService(
+        csr, pool_size=pool_size, fault_plans={0: plan},
+        policy=RetryPolicy(max_retries=0),
+        health=HealthPolicy(open_ms=2.0),
+        default_quota=TenantQuota(max_pending=128),
+    ) as service:
+        for _ in range(4):
+            service.serve([
+                VisitRequest(problem="bfs", source=i % csr.num_vertices)
+                for i in range(30)
+            ])
+        events = service.health.events
+        opened = next((e.t_ms for e in events if e.kind == "open"), None)
+        closed = next((e.t_ms for e in events if e.kind == "closed"), None)
+        return {
+            "opens": sum(lane.opens for lane in service.health.lanes),
+            "closes": sum(lane.closes for lane in service.health.lanes),
+            "first_open_ms": opened,
+            "first_close_ms": closed,
+            "recovery_ms": (
+                closed - opened
+                if opened is not None and closed is not None else None
+            ),
+            "generations": [
+                worker.generation for worker in service.pool.workers
+            ],
+        }
 
 
 def run_serve(
@@ -277,6 +421,15 @@ def run_serve(
     data["sweep"] = sweep
     data["wall_s"] = wall_total
 
+    # Self-healing scenarios: hedging's p99 effect at zero digest
+    # change, and one breaker's simulated recovery time.
+    straggler = run_straggler_scenario(
+        csr, queries=30 if quick else 60,
+        pool_size=settings.pool_size,
+    )
+    recovery = run_recovery_scenario(csr, pool_size=settings.pool_size)
+    data["health"] = {"straggler": straggler, "recovery": recovery}
+
     text = render_table(
         ["clients", "tenant", "requests", "p50 ms", "p95 ms", "p99 ms",
          "shed"],
@@ -286,6 +439,22 @@ def run_serve(
             f"{settings.pool_size} lanes, "
             f"{settings.requests_per_client} requests/client"
         ),
+    )
+    text += "\n" + render_table(
+        ["scenario", "p99 off ms", "p99 on ms", "hedge win rate",
+         "digest mismatches", "recovery ms"],
+        [[
+            "straggler+recovery",
+            f"{straggler['p99_off_ms']:.3f}",
+            f"{straggler['p99_on_ms']:.3f}",
+            f"{100 * straggler['hedge_win_rate']:.0f}%",
+            straggler["digest_mismatches"],
+            (
+                "-" if recovery["recovery_ms"] is None
+                else f"{recovery['recovery_ms']:.3f}"
+            ),
+        ]],
+        title="Self-healing: hedged requests and breaker recovery",
     )
     return ExperimentReport(
         experiment="serve",
@@ -306,8 +475,8 @@ def main(argv: list[str] | None = None) -> int:
         help="fewer clients/requests (CI-sized run)",
     )
     parser.add_argument(
-        "--out", default="BENCH_PR6.json",
-        help="write the report here (default BENCH_PR6.json; '-' skips)",
+        "--out", default="BENCH_PR9.json",
+        help="write the report here (default BENCH_PR9.json; '-' skips)",
     )
     parser.add_argument(
         "--json-dir", default=None,

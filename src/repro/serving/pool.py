@@ -18,9 +18,18 @@ checkout raises :class:`~repro.errors.SessionClosedError`.
 
 Sessions are *stateful* in simulated time — warm caches and frontier
 memos mean a query's timing depends on the whole history its worker has
-served.  The pool therefore never rebuilds or shuffles workers: lane
-``i`` keeps its session for the pool's lifetime, which is what makes a
-served stream replayable (see :mod:`repro.serving.identity`).
+served.  The pool therefore never rebuilds or shuffles workers on its
+own: lane ``i`` keeps its session for the pool's lifetime, which is
+what makes a served stream replayable (see
+:mod:`repro.serving.identity`).  The one sanctioned exception is
+:meth:`SessionPool.replace_session` — the self-healing plane's warm
+standby swap (:mod:`repro.serving.health`): a fresh session is built
+*first*, takes over the same lane slot (bumping
+:attr:`PoolWorker.generation`), and only then is the sick session
+closed, so pool capacity never dips below ``size``.  Resilient standbys
+inherit the retired session's injector: fault-event counters keep
+advancing across the swap, which is what lets a finite sustained fault
+window drain and the lane's half-open probes succeed.
 """
 
 from __future__ import annotations
@@ -50,6 +59,9 @@ class PoolWorker:
     resilient: bool = False
     #: Whether the lane is currently checked out.
     checked_out: bool = field(default=False, repr=False)
+    #: Warm-standby swaps this lane has been through (0 = the original
+    #: session built at pool construction).
+    generation: int = 0
 
     def __repr__(self) -> str:
         return (
@@ -70,6 +82,7 @@ class SessionPool:
         *,
         size: int = 2,
         fault_plan: FaultPlan | None = None,
+        fault_plans: dict[int, FaultPlan] | None = None,
         policy: RetryPolicy | None = None,
         resilient: bool | None = None,
     ):
@@ -79,15 +92,21 @@ class SessionPool:
         self.config = config or EtaGraphConfig()
         self.device = device
         self.policy = policy or RetryPolicy()
+        #: Per-lane fault plans (``fault_plans[i]`` overrides the shared
+        #: ``fault_plan`` for lane ``i``) — the chaos battery's way of
+        #: making one lane sick while its neighbours stay clean.
+        self.fault_plans = dict(fault_plans or {})
         # A fault plan or explicit policy needs the resilient wrapper;
         # otherwise bare sessions keep the no-overhead fast path.
         if resilient is None:
-            resilient = fault_plan is not None or policy is not None
-        if fault_plan is not None and not resilient:
+            resilient = (fault_plan is not None or bool(self.fault_plans)
+                         or policy is not None)
+        if (fault_plan is not None or self.fault_plans) and not resilient:
             raise QuotaExceededError(
                 "a fault plan requires resilient workers"
             )
         self.resilient = resilient
+        self._fault_plan = fault_plan
         self.workers: list[PoolWorker] = []
         for index in range(size):
             if resilient:
@@ -95,8 +114,11 @@ class SessionPool:
                     csr, self.config, device,
                     # Each lane gets its own injector state: the plan's
                     # schedule replays identically per worker.
-                    fault_plan=fault_plan,
+                    fault_plan=self.fault_plans.get(index, fault_plan),
                     policy=self.policy,
+                    # Desynchronize retry storms: each lane draws its
+                    # backoff jitter from its own seeded stream.
+                    jitter_seed=index,
                 )
             else:
                 session = EngineSession(csr, self.config, device)
@@ -159,6 +181,23 @@ class SessionPool:
         worker.checked_out = True
         return worker
 
+    def checkout_lane(self, index: int) -> PoolWorker:
+        """Check out one *specific* idle lane (targeted probes and
+        tests want a particular lane, not the least-busy one)."""
+        if self._closed:
+            raise SessionClosedError("session pool is closed")
+        if not 0 <= index < self.size:
+            raise QuotaExceededError(
+                f"lane {index} out of range [0, {self.size})"
+            )
+        worker = self.workers[index]
+        if worker.checked_out:
+            raise QuotaExceededError(
+                f"worker {index} is already checked out"
+            )
+        worker.checked_out = True
+        return worker
+
     def checkin(self, worker: PoolWorker) -> None:
         """Return a checked-out lane to the pool."""
         if worker not in self.workers:
@@ -170,6 +209,68 @@ class SessionPool:
                 f"worker {worker.index} is not checked out"
             )
         worker.checked_out = False
+
+    # ------------------------------------------------------------------
+    # Warm standby
+    # ------------------------------------------------------------------
+
+    def replace_session(self, worker: PoolWorker) -> int:
+        """Swap a fresh session into ``worker``'s slot (the self-healing
+        plane's warm standby).
+
+        Ordering is the capacity guarantee: the replacement is fully
+        constructed *before* the old session is closed, so at no instant
+        does the pool hold fewer than ``size`` live sessions.  Resilient
+        standbys take over the retired session's injector — its
+        per-kind event counters and fired log — so a sustained fault
+        plan keeps draining across the swap instead of restarting.
+        Returns the lane's new generation number.
+        """
+        if self._closed:
+            raise SessionClosedError("session pool is closed")
+        if worker not in self.workers:
+            raise QuotaExceededError(
+                f"worker {worker.index} does not belong to this pool"
+            )
+        old = worker.session
+        if worker.resilient:
+            standby = ResilientSession(
+                self.csr, self.config, self.device,
+                policy=self.policy, jitter_seed=worker.index,
+            )
+            standby.injector = old.injector
+        else:
+            standby = EngineSession(self.csr, self.config, self.device)
+        worker.session = standby
+        worker.generation += 1
+        old.close()
+        return worker.generation
+
+    def build_spare(self) -> PoolWorker:
+        """A warm-standby lane *outside* the pool (index ``size``): the
+        hedging plane's dedicated replica.
+
+        Never registered in :attr:`workers` and never dispatched a
+        primary request.  That isolation is load-bearing: the simulated
+        device allocator bumps addresses monotonically and the frontier
+        memo keys on them, so even one extra query on an active lane
+        would shift that lane's warm state and break the healthy-path
+        bit-identity contract.  Built clean — no injector, no fault
+        plan — so the hedge leg is the known-good replica of the served
+        query.
+        """
+        if self._closed:
+            raise SessionClosedError("session pool is closed")
+        if self.resilient:
+            session = ResilientSession(
+                self.csr, self.config, self.device,
+                policy=self.policy, jitter_seed=self.size,
+            )
+        else:
+            session = EngineSession(self.csr, self.config, self.device)
+        return PoolWorker(
+            index=self.size, session=session, resilient=self.resilient,
+        )
 
     @property
     def idle_at_ms(self) -> float:

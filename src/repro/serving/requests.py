@@ -223,6 +223,12 @@ class TraversalResponse:
     result: object = None
     #: Injected faults observed while serving (resilient worker path).
     faults_seen: list = field(default_factory=list)
+    #: Whether the self-healing plane launched a hedge leg for this
+    #: request, and whether that leg's finish won the race (the response
+    #: then carries the hedge lane's schedule and result — labels are
+    #: identical either way, by asserted contract).
+    hedged: bool = False
+    hedge_won: bool = False
 
     @property
     def tenant(self) -> str:

@@ -44,8 +44,8 @@ from dataclasses import asdict, replace
 import numpy as np
 
 from repro.core.config import EtaGraphConfig
-from repro.errors import ConfigError, DeadlineExceededError, ReproError, \
-    SessionClosedError
+from repro.errors import ConfigError, DataCorruptionError, \
+    DeadlineExceededError, QuotaExceededError, ReproError, SessionClosedError
 from repro.gpu.device import DeviceSpec, GTX_1080TI
 from repro.graph.csr import CSRGraph
 from repro.observability.metrics import MetricsRegistry
@@ -53,6 +53,7 @@ from repro.resilience.faults import FaultPlan
 from repro.resilience.session import _MODE_RUNGS, RetryPolicy
 from repro.serving.admission import AdmissionQueue, AdmittedRequest, \
     TenantQuota
+from repro.serving.health import HealthPlane, HealthPolicy
 from repro.serving.pool import PoolWorker, SessionPool
 from repro.serving.requests import (
     NeighborhoodRequest,
@@ -90,18 +91,21 @@ class TraversalService:
         quotas: dict[str, TenantQuota] | None = None,
         default_quota: TenantQuota | None = None,
         fault_plan: FaultPlan | None = None,
+        fault_plans: dict[int, FaultPlan] | None = None,
         policy: RetryPolicy | None = None,
         resilient: bool | None = None,
         telemetry: bool = False,
         max_series: int = 64,
         wave_width: int = 0,
+        health: HealthPolicy | bool | None = None,
     ):
         self.csr = csr
         self.config = config or EtaGraphConfig()
         self.device = device
         self.pool = SessionPool(
             csr, self.config, device, size=pool_size,
-            fault_plan=fault_plan, policy=policy, resilient=resilient,
+            fault_plan=fault_plan, fault_plans=fault_plans,
+            policy=policy, resilient=resilient,
         )
         self.queue = AdmissionQueue(
             quotas=quotas,
@@ -133,7 +137,23 @@ class TraversalService:
         #: every request as its own traversal — the bit-identity gate's
         #: configuration.
         self.wave_width = wave_width
+        #: The self-healing plane (:mod:`repro.serving.health`): lane
+        #: EWMA health scores, per-lane circuit breakers with warm
+        #: standby replacement, hedged requests and the brownout ladder.
+        #: Off by default — healthy runs are bit-identical either way
+        #: (``check_health_identity`` gates it), but off keeps the
+        #: no-overhead fast path and the historical default behavior.
+        self.health: HealthPlane | None = None
+        if health:
+            health_policy = (
+                health if isinstance(health, HealthPolicy)
+                else HealthPolicy()
+            )
+            self.health = HealthPlane(health_policy, self.pool)
         self._fault_plan = fault_plan
+        #: Lazy dedicated hedge standby (see :meth:`_hedge_standby`) —
+        #: never one of the pool's primary lanes.
+        self._hedge_worker: PoolWorker | None = None
         #: Lazy single-lane pool for shortest-path requests: the same
         #: configuration with parent tracking on (path reconstruction
         #: needs per-vertex parent pointers, which the main pool's
@@ -154,6 +174,8 @@ class TraversalService:
         if self._closed:
             return
         self.pool.close()
+        if self._hedge_worker is not None:
+            self._hedge_worker.session.close()
         if self._path_pool is not None:
             self._path_pool.close()
         self._closed = True
@@ -189,6 +211,12 @@ class TraversalService:
 
         return unified_snapshot(service=self)
 
+    @property
+    def lane_health(self) -> dict[int, float] | None:
+        """Lane index -> EWMA health score (``None`` with the
+        self-healing plane off)."""
+        return self.health.lane_health if self.health is not None else None
+
     # ------------------------------------------------------------------
     # Submission
     # ------------------------------------------------------------------
@@ -206,6 +234,14 @@ class TraversalService:
         request.validate(self.csr)
         if request.arrival_ms is not None:
             self.clock_ms = max(self.clock_ms, request.arrival_ms)
+        if self.health is not None and self.health.refuse_admissions:
+            # Brownout level 4: the pool is too sick to promise anything,
+            # so refuse at the door (the batch path turns this into a
+            # terminal error response, same as any admission refusal).
+            raise QuotaExceededError(
+                f"service brownout level {self.health.level}: "
+                "refusing new admissions until lane health recovers"
+            )
         return self.queue.submit(request, self.clock_ms)
 
     def serve(
@@ -263,14 +299,20 @@ class TraversalService:
         if self._closed:
             raise SessionClosedError("traversal service is closed")
         responses = []
-        width = self.wave_width
         while len(self.queue):
+            # Brownout level 2 halves the wave width, re-read every
+            # iteration: health observations mid-drain move the ladder.
+            width = self.wave_width
+            if self.health is not None:
+                width = self.health.effective_wave_width(width)
             adm = self.queue.pop()
-            if width >= 2 and self._wave_eligible(adm):
+            if width >= 2 and self._wave_eligible(adm) \
+                    and not self._brownout_shed(adm):
                 group = [adm]
                 while len(group) < width:
                     head = self.queue.peek()
-                    if head is None or not self._wave_eligible(head):
+                    if head is None or not self._wave_eligible(head) \
+                            or self._brownout_shed(head):
                         break
                     group.append(self.queue.pop())
                 if len(group) >= 2:
@@ -330,6 +372,8 @@ class TraversalService:
                 ]
                 if not remaining:
                     return responses
+            if self.health is not None:
+                self.health.on_dispatch(worker, start)
             if len(remaining) == 1:
                 responses.append(self._run(remaining[0], worker, start))
                 return responses
@@ -353,6 +397,7 @@ class TraversalService:
         error: str | None = None
         lane_results: list = []
         service_ms = 0.0
+        backoff_ms = 0.0
         try:
             if worker.resilient:
                 outcome = worker.session.run_wave(sources)
@@ -361,9 +406,12 @@ class TraversalService:
                 degraded = outcome.degraded
                 attempts = outcome.num_attempts
                 faults = list(outcome.faults_seen)
+                backoff_ms = outcome.backoff_ms
             else:
                 wave = msbfs.run_wave(worker.session, sources)
-            service_ms = wave.total_ms + wave.d2h_ms
+            # Retry backoff is real lane time: requests queued behind a
+            # flaky serve wait through its backoffs too.
+            service_ms = wave.total_ms + wave.d2h_ms + backoff_ms
             lane_results = wave.to_results()
         except ReproError as exc:
             # One traversal, one fate: a typed failure fails every lane
@@ -418,32 +466,67 @@ class TraversalService:
         worker.busy_until_ms = max(worker.busy_until_ms, finish)
         worker.served += len(group)
         self.clock_ms = max(self.clock_ms, finish)
+        if self.health is not None:
+            # One traversal, one observation: a wave is a single serve
+            # on its lane, however many requests rode it.
+            self._health_observe(
+                worker, ok=error is None,
+                error_type=(
+                    error.split(":", 1)[0] if error is not None else None
+                ),
+                faults=len(faults), attempts=attempts, degraded=degraded,
+                t_ms=finish,
+            )
         return responses
+
+    def _brownout_shed(self, adm: AdmittedRequest) -> bool:
+        """Brownout level 3: best-effort work is shed at dispatch so the
+        remaining healthy capacity serves deadlined requests."""
+        return (
+            self.health is not None
+            and self.health.shed_best_effort
+            and adm.best_effort
+        )
 
     def _dispatch(self, adm: AdmittedRequest) -> TraversalResponse:
         worker = self.pool.checkout()
         try:
             start = max(worker.busy_until_ms, adm.arrival_ms)
+            if self._brownout_shed(adm):
+                return self._shed(adm, worker, start, brownout=True)
             if start >= adm.deadline_abs:
                 return self._shed(adm, worker, start)
+            if self.health is not None:
+                self.health.on_dispatch(worker, start)
             return self._run(adm, worker, start)
         finally:
             self.pool.checkin(worker)
 
     def _shed(
         self, adm: AdmittedRequest, worker: PoolWorker, at_ms: float,
+        *, brownout: bool = False,
     ) -> TraversalResponse:
-        """Load shedding: the deadline expired while queued — record a
-        typed refusal without spending any worker time."""
-        error = DeadlineExceededError(
-            f"request {adm.request.describe()} shed: deadline "
-            f"{adm.deadline_abs:.3f} ms passed before dispatch "
-            f"(earliest start {at_ms:.3f} ms)"
-        )
+        """Load shedding: the deadline expired while queued (or brownout
+        dropped best-effort work) — record a typed refusal without
+        spending any worker time."""
+        if brownout:
+            error = DeadlineExceededError(
+                f"request {adm.request.describe()} shed: service "
+                f"brownout level {self.health.level} is dropping "
+                f"best-effort work"
+            )
+        else:
+            error = DeadlineExceededError(
+                f"request {adm.request.describe()} shed: deadline "
+                f"{adm.deadline_abs:.3f} ms passed before dispatch "
+                f"(earliest start {at_ms:.3f} ms)"
+            )
         self.requests_shed += 1
         self.clock_ms = max(self.clock_ms, at_ms)
         self.metrics.inc("service.sheds", tenant=adm.tenant,
                          endpoint=adm.request.endpoint)
+        if brownout:
+            self.metrics.inc("service.brownout_sheds", tenant=adm.tenant)
         if self.tracer is not None:
             self.tracer.emit(
                 "shed", "service", 0.0, t_ms=at_ms,
@@ -501,9 +584,26 @@ class TraversalService:
                              type=type(exc).__name__)
         finish = start + service_ms
         response.finish_ms = finish
+        # The health plane only attributes outcomes that actually ran on
+        # this lane's session (pagerank, stats and shortest_path run
+        # elsewhere).  Primary-leg facts are captured before hedging may
+        # overwrite the response with the winning leg's metadata.
+        observed = self.health is not None and isinstance(
+            request, (VisitRequest, NeighborhoodRequest)
+        )
+        primary_attempts = response.attempts
+        primary_degraded = response.degraded
+        primary_faults = len(response.faults_seen)
+        primary_clean = not (
+            primary_degraded or primary_attempts > 1 or primary_faults
+        )
+        if observed and response.ok:
+            self._maybe_hedge(adm, worker, response, start, service_ms)
+            if primary_clean:
+                self.health.record_latency(request.endpoint, service_ms)
         worker.busy_until_ms = max(worker.busy_until_ms, finish)
         worker.served += 1
-        self.clock_ms = max(self.clock_ms, finish)
+        self.clock_ms = max(self.clock_ms, finish, response.finish_ms)
         self.requests_served += 1
         self.metrics.inc("service.requests", tenant=request.tenant,
                          endpoint=request.endpoint)
@@ -514,14 +614,150 @@ class TraversalService:
         if response.degraded:
             self.metrics.inc("service.degraded", tenant=request.tenant)
         if self.tracer is not None:
+            attrs = {}
+            if response.hedged:
+                attrs = {"hedged": True, "hedge_won": response.hedge_won}
             self.tracer.emit(
                 "request", "service", finish - start, t_ms=start,
                 tenant=request.tenant, endpoint=request.endpoint,
                 seq=adm.seq, worker=worker.index,
                 ok=response.ok, placement=response.placement,
-                queue_ms=response.queue_ms,
+                queue_ms=response.queue_ms, **attrs,
+            )
+        if observed:
+            self._health_observe(
+                worker, ok=response.ok,
+                error_type=(
+                    response.error.split(":", 1)[0]
+                    if response.error is not None else None
+                ),
+                faults=primary_faults, attempts=primary_attempts,
+                degraded=primary_degraded, t_ms=finish,
             )
         return response
+
+    # ------------------------------------------------------------------
+    # Self-healing plane hooks
+    # ------------------------------------------------------------------
+
+    def _health_observe(self, worker: PoolWorker, **outcome) -> list:
+        """Feed one lane serve to the health plane; mirror the resulting
+        score/level into metrics and any breaker transitions into the
+        metrics registry and the service trace."""
+        plane = self.health
+        events = plane.observe(worker, **outcome)
+        self.metrics.set_gauge(
+            "service.lane_health", plane.lanes[worker.index].score,
+            lane=str(worker.index),
+        )
+        self.metrics.set_gauge("service.brownout_level", float(plane.level))
+        for event in events:
+            self.metrics.inc("service.breaker_transitions", kind=event.kind)
+            if self.tracer is not None:
+                self.tracer.emit(
+                    event.kind, "service", 0.0, t_ms=event.t_ms,
+                    lane=-1 if event.lane is None else event.lane,
+                    detail=event.detail,
+                )
+        return events
+
+    def _hedge_standby(self) -> PoolWorker:
+        """The dedicated warm hedge lane (built on first use; its first
+        leg pays the one-time topology setup and then stays warm)."""
+        if self._hedge_worker is None:
+            self._hedge_worker = self.pool.build_spare()
+        return self._hedge_worker
+
+    def _maybe_hedge(
+        self, adm: AdmittedRequest, worker: PoolWorker,
+        response: TraversalResponse, start: float, service_ms: float,
+    ) -> None:
+        """Hedge a suspect straggler: when a serve from a non-pristine
+        lane overshoots the endpoint's clean-latency p95, run the same
+        query on the warm hedge standby and keep the earlier finish.
+
+        Both legs must agree bit-for-bit on labels — hedging trades
+        simulated latency, never answers.  The primary lane stays
+        charged for its full service time either way (its work really
+        happened), and a won hedge only moves the *response*'s finish to
+        the standby leg's earlier one: the payload, ``result`` (and so
+        ``result_digest``), lane and placement stay the primary's, which
+        is what keeps the hedged run digest-identical to the unhedged
+        one.
+        """
+        plane = self.health
+        request = adm.request
+        if not plane.hedging_active:
+            return
+        if not plane.suspect(worker, response):
+            return
+        threshold = plane.hedge_threshold(request.endpoint)
+        if threshold is None or service_ms <= threshold:
+            return
+        standby = self._hedge_standby()
+        plane.hedges += 1
+        self.metrics.inc("service.hedges", tenant=request.tenant,
+                         endpoint=request.endpoint)
+        hedge = TraversalResponse(
+            request=request, seq=adm.seq, ok=True,
+            arrival_ms=adm.arrival_ms, start_ms=start,
+            worker=standby.index,
+            placement=_MODE_RUNGS[self.config.memory_mode],
+            attempts=1,
+        )
+        # The hedge launches once the primary has overshot the
+        # threshold — not at dispatch (that would double every suspect
+        # serve's work) — and no earlier than the standby is free (a
+        # backed-up standby simply loses the race).
+        hedge_start = max(standby.busy_until_ms, start + threshold)
+        hedge.start_ms = hedge_start
+        try:
+            if isinstance(request, VisitRequest):
+                hedge_ms = self._run_visit(
+                    standby, hedge, request.problem, request.source,
+                    target=request.target,
+                    iteration_budget=adm.iteration_budget,
+                )
+            else:
+                hedge_ms = self._run_visit(
+                    standby, hedge, "bfs", request.source,
+                    target=None, iteration_budget=adm.iteration_budget,
+                )
+        except ReproError:
+            # A failed hedge leg never touches the request: the primary
+            # already answered.  The standby is clean by construction
+            # (no injector), so a failure here is request-shaped, not a
+            # lane-health signal.
+            return
+        hedge_finish = hedge_start + hedge_ms
+        standby.busy_until_ms = max(standby.busy_until_ms, hedge_finish)
+        standby.served += 1
+        self.clock_ms = max(self.clock_ms, hedge_finish)
+        if not np.array_equal(
+            np.asarray(response.result.labels),
+            np.asarray(hedge.result.labels),
+        ):
+            raise DataCorruptionError(
+                f"hedge legs disagree on seq {adm.seq}: lane "
+                f"{worker.index} and the hedge standby returned "
+                f"different labels for {request.describe()}"
+            )
+        hedge_clean = not (
+            hedge.degraded or hedge.attempts > 1 or hedge.faults_seen
+        )
+        if hedge_clean:
+            plane.record_latency(request.endpoint, hedge_ms)
+        response.hedged = True
+        if hedge_finish < response.finish_ms:
+            plane.hedge_wins += 1
+            response.hedge_won = True
+            self.metrics.inc("service.hedge_wins", tenant=request.tenant,
+                             endpoint=request.endpoint)
+            # Only the finish moves: the tenant got its (identical)
+            # answer at the standby leg's earlier completion, but the
+            # payload and result stay the primary's so the response is
+            # digest-identical to a hedge-off run.
+            response.finish_ms = hedge_finish
 
     # ------------------------------------------------------------------
     # Endpoints
@@ -571,6 +807,12 @@ class TraversalService:
             response.degraded = outcome.degraded
             response.attempts = outcome.num_attempts
             response.faults_seen = list(outcome.faults_seen)
+            response.result = outcome.result
+            response.value = outcome.result.labels
+            # Retry backoff is real lane time: a flaky serve makes the
+            # requests queued behind it wait through its backoffs too.
+            return (outcome.result.total_ms + outcome.result.d2h_ms
+                    + outcome.backoff_ms)
         else:
             from repro.errors import ConvergenceError
 
@@ -678,7 +920,13 @@ class TraversalService:
             from repro.graph.properties import GraphSummary
 
             self._stats_cache = asdict(GraphSummary.of(self.csr))
-        response.value = dict(self._stats_cache)
+        value = dict(self._stats_cache)
+        if self.health is not None:
+            # The stats endpoint doubles as the health surface: lane
+            # scores, breaker states, generations and the brownout level
+            # ride along when the self-healing plane is on.
+            value["health"] = self.health.snapshot()
+        response.value = value
         # Served from precomputed metadata: no simulated device time.
         return 0.0
 

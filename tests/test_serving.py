@@ -490,3 +490,85 @@ class TestTenantStats:
         assert stats["served"] == 0
         assert stats["p50_ms"] is None
         assert "doomed" in report.text and "-" in report.text
+
+
+# ----------------------------------------------------------------------
+# Lane accounting and response bookkeeping
+# ----------------------------------------------------------------------
+
+class TestLaneAccounting:
+    def test_poisoned_lane_never_leaks_from_the_pool(self, tiny_graph):
+        """An untyped crash mid-serve must check the lane back in and
+        leave pool capacity intact (the try/finally dispatch contract)."""
+        with TraversalService(tiny_graph, pool_size=2) as service:
+            worker = service.pool.workers[0]
+            original = worker.session.query
+
+            def poisoned(*args, **kwargs):
+                raise RuntimeError("poisoned lane")
+
+            worker.session.query = poisoned
+            try:
+                with pytest.raises(RuntimeError):
+                    service.call(VisitRequest(source=0))
+                assert service.pool.size == 2
+                assert not any(
+                    w.checked_out for w in service.pool.workers
+                )
+            finally:
+                worker.session.query = original
+            # The pool still serves: no lane was lost to the crash.
+            assert service.call(VisitRequest(source=0)).ok
+
+    def test_drain_returns_edf_dispatch_order(self, tiny_graph):
+        with TraversalService(tiny_graph, pool_size=1) as service:
+            service.submit(VisitRequest(source=0))
+            service.submit(VisitRequest(source=1, deadline_ms=50.0))
+            service.submit(VisitRequest(source=2, deadline_ms=10.0))
+            responses = service.drain()
+        # Tightest deadline first, best-effort last; one response each.
+        assert [r.seq for r in responses] == [2, 1, 0]
+        assert all(r.ok for r in responses)
+
+    def test_serve_returns_submission_order(self, tiny_graph):
+        with TraversalService(tiny_graph, pool_size=2) as service:
+            requests = [
+                VisitRequest(source=0),
+                VisitRequest(source=1, deadline_ms=25.0),
+                VisitRequest(source=2),
+                VisitRequest(source=3, deadline_ms=5.0),
+            ]
+            responses = service.serve(requests)
+        # EDF reorders dispatch, but the batch's responses come back in
+        # submission order, one terminal response per request.
+        assert [r.request.source for r in responses] == [0, 1, 2, 3]
+        assert [r.seq for r in responses] == [0, 1, 2, 3]
+
+    def test_served_plus_shed_conservation(self, skewed_graph):
+        with TraversalService(
+            skewed_graph, pool_size=2, wave_width=4,
+            default_quota=TenantQuota(max_pending=64),
+        ) as service:
+            requests = []
+            for i in range(30):
+                if i % 5 == 4:
+                    # Hair-trigger deadline on a non-wave-eligible
+                    # problem: whatever misses a free lane at t=0 must
+                    # shed (BFS visits would coalesce into one wave at
+                    # t=0 and all meet the deadline).
+                    requests.append(VisitRequest(
+                        problem="cc", source=i, deadline_ms=0.001,
+                    ))
+                elif i % 5 == 3:
+                    requests.append(NeighborhoodRequest(source=i, hops=2))
+                else:
+                    requests.append(VisitRequest(source=i))
+            responses = service.serve(requests)
+            assert len(responses) == 30
+            assert sorted(r.seq for r in responses) == list(range(30))
+            # Every admitted request is answered-or-shed exactly once.
+            assert service.requests_served + service.requests_shed == 30
+            shed = [r for r in responses if r.shed]
+            assert shed
+            assert service.requests_shed == len(shed)
+            assert all(not r.ok and r.error for r in shed)
