@@ -15,10 +15,32 @@ The subsystem has three planes (see ``docs/observability.md``):
   reproduce Fig. 4 interactively) and a JSONL event log, plus loaders
   and a schema validator.
 
-``python -m repro.observability`` exposes ``trace`` / ``summarize`` /
-``validate`` / ``identity`` subcommands; the last one gates the
+Two serving-plane companions ride on top (``docs/observability.md``,
+"Request tracing, SLOs, and postmortems"):
+
+* :mod:`repro.observability.slo` — per-tenant multi-window burn-rate
+  monitors against declared deadline-hit-rate objectives, with alert
+  transitions exported through the registry and onto the trace's
+  ``alerts`` track.
+* :mod:`repro.observability.recorder` — a bounded flight recorder that
+  dumps deterministic postmortem bundles (events JSONL + Chrome-trace
+  slice + metrics snapshot + manifest) when a typed error surfaces, a
+  breaker opens, or the brownout ladder escalates.
+
+``python -m repro.observability`` exposes ``trace`` / ``summarize``
+(with ``--request`` for one request's span tree) / ``validate`` /
+``identity`` / ``slo`` subcommands; ``identity`` gates the
 telemetry-off-is-bit-identical contract in CI.
 """
+
+from repro.observability.recorder import FlightRecorder
+from repro.observability.slo import (
+    SLO_STATES,
+    SLOAlert,
+    SLOMonitor,
+    SLOPolicy,
+    render_slo_report,
+)
 
 from repro.observability.export import (
     dumps_stable,
@@ -31,16 +53,23 @@ from repro.observability.export import (
 )
 from repro.observability.metrics import MetricsRegistry, unified_snapshot
 from repro.observability.spans import CATEGORIES, SpanRecord, Trace, Tracer
-from repro.observability.summarize import render_summary
+from repro.observability.summarize import render_request, render_summary
 
 __all__ = [
     "CATEGORIES",
+    "FlightRecorder",
     "MetricsRegistry",
+    "SLOAlert",
+    "SLOMonitor",
+    "SLOPolicy",
+    "SLO_STATES",
     "SpanRecord",
     "Trace",
     "Tracer",
     "dumps_stable",
     "load_trace",
+    "render_request",
+    "render_slo_report",
     "render_summary",
     "to_chrome_trace",
     "to_jsonl",

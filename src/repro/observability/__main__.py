@@ -5,8 +5,11 @@ Usage::
     python -m repro.observability trace --graph slashdot --problem bfs \\
         --out /tmp/trace.json                 # record one traced query
     python -m repro.observability summarize /tmp/trace.json --top 8
+    python -m repro.observability summarize /tmp/serve.json \\
+        --request req-00003                   # one request's span tree
     python -m repro.observability validate /tmp/trace.json
     python -m repro.observability identity                # telemetry gate
+    python -m repro.observability slo                     # burn-rate report
 
 ``trace`` runs one query with ``EtaGraphConfig(telemetry=True)`` and
 writes the Chrome trace-event JSON (open it at https://ui.perfetto.dev);
@@ -76,18 +79,56 @@ def _trace(argv: list[str]) -> int:
 
 def _summarize(argv: list[str]) -> int:
     from repro.observability.export import load_trace
+    from repro.observability.summarize import render_request
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.observability summarize",
         description="Per-query flame summary and top-k hot spans of a "
-                    "trace file (Chrome JSON or JSONL).",
+                    "trace file (Chrome JSON or JSONL); with --request, "
+                    "one request's causally-ordered span tree instead.",
     )
     parser.add_argument("file")
     parser.add_argument("--top", type=int, default=10)
+    parser.add_argument(
+        "--request", default=None, metavar="REQUEST_ID",
+        help="render the span tree of one served request "
+             "(queue -> dispatch -> attempts/hedges -> engine kernels)",
+    )
     args = parser.parse_args(argv)
     trace = load_trace(args.file)
+    if args.request is not None:
+        text = render_request(trace, args.request)
+        print(text)
+        return 0 if not text.startswith("no request span") else 1
     print(trace.summary(top=args.top))
     return 0
+
+
+def _slo(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.observability slo",
+        description="Run a seeded multi-tenant serving workload with "
+                    "SLO burn-rate monitors on and print the per-tenant "
+                    "burn/alert report.",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--trace-out", default=None,
+        help="also write the run's Chrome trace here (the alerts track "
+             "carries the slo_alert transitions)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.observability.slo import render_slo_report, run_slo_demo
+
+    service = run_slo_demo(args.seed)
+    print(render_slo_report(service.slo, now_ms=service.clock_ms))
+    if args.trace_out:
+        service.trace().save_chrome(args.trace_out)
+        print(f"\nwrote {args.trace_out}")
+    # A demo without a single transition would make the report (and the
+    # CI job running it) vacuous.
+    return 0 if service.slo.alerts else 1
 
 
 def _validate(argv: list[str]) -> int:
@@ -185,6 +226,8 @@ def main(argv: list[str] | None = None) -> int:
         return _validate(argv[1:])
     if argv[:1] == ["identity"]:
         return _identity(argv[1:])
+    if argv[:1] == ["slo"]:
+        return _slo(argv[1:])
     print(__doc__)
     return 2
 

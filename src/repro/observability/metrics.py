@@ -229,16 +229,41 @@ def add_service(reg: MetricsRegistry, service) -> None:
     plane = getattr(service, "health", None)
     if plane is not None:
         # Self-healing plane (repro.serving.health): live lane scores,
-        # breaker/hedge activity and the brownout level.
+        # breaker/hedge activity and the brownout level — the whole
+        # plane, so one snapshot() captures the PR 9 state too.
+        from repro.serving.health import BREAKER_STATES
+
         reg.set_gauge("service.health_aggregate", plane.aggregate)
         reg.set_gauge("service.brownout_level", float(plane.level))
-        reg.set_gauge("service.hedges", plane.hedges)
-        reg.set_gauge("service.hedge_wins", plane.hedge_wins)
+        # Distinct names from the per-tenant ``service.hedges`` /
+        # ``service.hedge_wins`` *counters* the service itself keeps —
+        # a series can't be both a counter and a gauge.
+        reg.set_gauge("service.health_hedges", plane.hedges)
+        reg.set_gauge("service.health_hedge_wins", plane.hedge_wins)
+        reg.set_gauge("service.health_events", len(plane.events))
         for lane in plane.lanes:
             reg.set_gauge("service.lane_health", lane.score,
                           lane=str(lane.index))
+            reg.set_gauge("service.lane_state",
+                          float(BREAKER_STATES.index(lane.state)),
+                          lane=str(lane.index))
             reg.set_gauge("service.lane_opens", lane.opens,
                           lane=str(lane.index))
+            reg.set_gauge("service.lane_closes", lane.closes,
+                          lane=str(lane.index))
+            reg.set_gauge("service.lane_observations", lane.observations,
+                          lane=str(lane.index))
+    monitor = getattr(service, "slo", None)
+    if monitor is not None:
+        # SLO burn-rate monitors: per-tenant objectives, hit rates,
+        # fast/slow burn and the alert ladder.
+        monitor.export(reg, now_ms=service.clock_ms)
+    recorder = getattr(service, "recorder", None)
+    if recorder is not None:
+        reg.set_gauge("service.postmortems", len(recorder.dumps))
+        reg.set_gauge("service.postmortems_suppressed",
+                      recorder.suppressed)
+        reg.set_gauge("service.recorder_entries", len(recorder.ring))
 
 
 def add_run_outcome(reg: MetricsRegistry, outcome) -> None:

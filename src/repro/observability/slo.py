@@ -1,0 +1,360 @@
+"""Per-tenant SLO burn-rate monitors on the simulated clock.
+
+A tenant declares a *deadline-hit-rate objective* (e.g. "99% of my
+requests meet their deadline").  The monitor watches the stream of
+terminal responses the service produces and tracks, per tenant, how
+fast the tenant's *error budget* (``1 - objective``) is being consumed:
+
+    burn_rate = miss_rate_in_window / (1 - objective)
+
+A burn rate of 1.0 means the tenant is consuming budget exactly at the
+declared rate; 2.0 means twice as fast.  Following the classic
+multi-window pattern, two sliding windows over the *simulated* clock
+are tracked per tenant:
+
+* a **fast** window (reacts quickly, noisy), and
+* a **slow** window (smooth, slow to clear).
+
+The alert ladder is ``ok -> warn -> page``: ``warn`` when the slow
+window burns above :attr:`SLOPolicy.warn_burn`, ``page`` when *both*
+windows burn above :attr:`SLOPolicy.page_burn` (the fast window proves
+the problem is still happening, the slow window proves it is material).
+Every transition is returned to the caller as an :class:`SLOAlert` —
+the serving frontend turns them into ``slo_alert`` events on the
+``alerts`` trace track and counters in its registry.
+
+Everything is a pure function of the (tenant, t_ms, hit) stream on the
+simulated clock, so SLO monitoring is deterministic and replayable, and
+— like all telemetry here — purely observational: it never touches the
+schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections import deque
+
+from repro.errors import ConfigError
+
+#: Alert ladder, in escalation order (index = severity).
+SLO_STATES = ("ok", "warn", "page")
+
+
+@dataclass(frozen=True)
+class SLOPolicy:
+    """Burn-rate alerting shape shared by every tenant.
+
+    Per-tenant *objectives* (the declared hit rate) live beside the
+    policy in :class:`SLOMonitor`; the policy holds the windows and
+    thresholds, which describe how to alert, not what to promise.
+    """
+
+    #: Deadline-hit-rate objective for tenants without a declared one.
+    objective: float = 0.9
+    #: Fast (reactive) sliding window, simulated ms.
+    fast_window_ms: float = 40.0
+    #: Slow (smoothing) sliding window, simulated ms.
+    slow_window_ms: float = 200.0
+    #: Burn rate at which the slow window raises ``warn``.
+    warn_burn: float = 1.0
+    #: Burn rate both windows must reach to raise ``page``.
+    page_burn: float = 2.0
+    #: Samples a tenant needs in the slow window before any alert —
+    #: two early misses must not page a tenant that has sent three
+    #: requests.
+    min_samples: int = 4
+
+    def __post_init__(self):
+        if not 0.0 < self.objective < 1.0:
+            raise ConfigError(
+                f"objective must be in (0, 1), got {self.objective}"
+            )
+        if self.fast_window_ms <= 0 or self.slow_window_ms <= 0:
+            raise ConfigError("SLO windows must be positive")
+        if self.fast_window_ms > self.slow_window_ms:
+            raise ConfigError(
+                "fast_window_ms must not exceed slow_window_ms "
+                f"({self.fast_window_ms} > {self.slow_window_ms})"
+            )
+        if self.warn_burn <= 0 or self.page_burn <= 0:
+            raise ConfigError("burn thresholds must be positive")
+        if self.min_samples < 1:
+            raise ConfigError(
+                f"min_samples must be >= 1, got {self.min_samples}"
+            )
+
+
+@dataclass(frozen=True)
+class SLOAlert:
+    """One alert-state transition (returned by :meth:`SLOMonitor.record`)."""
+
+    tenant: str
+    t_ms: float
+    state: str
+    previous: str
+    fast_burn: float
+    slow_burn: float
+
+    @property
+    def escalation(self) -> bool:
+        return SLO_STATES.index(self.state) > SLO_STATES.index(self.previous)
+
+
+@dataclass
+class _TenantWindow:
+    """Sliding sample window + lifetime totals for one tenant."""
+
+    objective: float
+    #: (t_ms, hit) samples inside the slow window, oldest first.
+    samples: deque = field(default_factory=deque)
+    state: str = "ok"
+    total: int = 0
+    hits: int = 0
+    transitions: int = 0
+
+
+class SLOMonitor:
+    """Tracks burn rates and alert states for every observed tenant."""
+
+    def __init__(
+        self,
+        policy: SLOPolicy | None = None,
+        objectives: dict[str, float] | None = None,
+    ):
+        self.policy = policy or SLOPolicy()
+        #: Declared per-tenant hit-rate objectives; tenants not listed
+        #: fall back to the policy's default objective.
+        self.objectives = dict(objectives or {})
+        for tenant, objective in self.objectives.items():
+            if not 0.0 < objective < 1.0:
+                raise ConfigError(
+                    f"objective for tenant {tenant!r} must be in (0, 1), "
+                    f"got {objective}"
+                )
+        self._tenants: dict[str, _TenantWindow] = {}
+        #: Every transition ever raised, in record order.
+        self.alerts: list[SLOAlert] = []
+
+    def __repr__(self) -> str:
+        paging = sum(1 for w in self._tenants.values() if w.state == "page")
+        return (
+            f"SLOMonitor({len(self._tenants)} tenants, "
+            f"{len(self.alerts)} transitions, {paging} paging)"
+        )
+
+    def _window(self, tenant: str) -> _TenantWindow:
+        window = self._tenants.get(tenant)
+        if window is None:
+            window = _TenantWindow(
+                objective=self.objectives.get(
+                    tenant, self.policy.objective,
+                ),
+            )
+            self._tenants[tenant] = window
+        return window
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+
+    def record(self, tenant: str, t_ms: float, hit: bool) -> list[SLOAlert]:
+        """Feed one terminal outcome; returns any state transition it
+        caused (a list of 0 or 1 alerts — a list so callers can extend
+        without special-casing)."""
+        policy = self.policy
+        window = self._window(tenant)
+        window.total += 1
+        window.hits += int(hit)
+        window.samples.append((t_ms, hit))
+        cutoff = t_ms - policy.slow_window_ms
+        while window.samples and window.samples[0][0] < cutoff:
+            window.samples.popleft()
+
+        fast = self._burn(window, t_ms, policy.fast_window_ms)
+        slow = self._burn(window, t_ms, policy.slow_window_ms)
+        if len(window.samples) < policy.min_samples:
+            state = "ok"
+        elif fast >= policy.page_burn and slow >= policy.page_burn:
+            state = "page"
+        elif slow >= policy.warn_burn:
+            state = "warn"
+        else:
+            state = "ok"
+        if state == window.state:
+            return []
+        alert = SLOAlert(
+            tenant=tenant, t_ms=t_ms, state=state,
+            previous=window.state, fast_burn=fast, slow_burn=slow,
+        )
+        window.state = state
+        window.transitions += 1
+        self.alerts.append(alert)
+        return [alert]
+
+    def _burn(
+        self, window: _TenantWindow, now_ms: float, span_ms: float,
+    ) -> float:
+        lo = now_ms - span_ms
+        total = misses = 0
+        for t, hit in window.samples:
+            if t >= lo:
+                total += 1
+                misses += int(not hit)
+        if total == 0:
+            return 0.0
+        return (misses / total) / (1.0 - window.objective)
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+
+    def state(self, tenant: str) -> str:
+        window = self._tenants.get(tenant)
+        return window.state if window is not None else "ok"
+
+    def burn_rate(self, tenant: str, now_ms: float, *,
+                  fast: bool = True) -> float:
+        """Current burn rate of one tenant's fast (or slow) window."""
+        window = self._tenants.get(tenant)
+        if window is None:
+            return 0.0
+        span = (self.policy.fast_window_ms if fast
+                else self.policy.slow_window_ms)
+        return self._burn(window, now_ms, span)
+
+    @property
+    def worst_state(self) -> str:
+        """The most escalated state any tenant is in."""
+        worst = 0
+        for window in self._tenants.values():
+            worst = max(worst, SLO_STATES.index(window.state))
+        return SLO_STATES[worst]
+
+    def snapshot(self, now_ms: float | None = None) -> dict:
+        """Per-tenant SLO status as one plain dict (tenants sorted)."""
+        out = {}
+        for tenant in sorted(self._tenants):
+            window = self._tenants[tenant]
+            now = now_ms
+            if now is None:
+                now = window.samples[-1][0] if window.samples else 0.0
+            out[tenant] = {
+                "objective": window.objective,
+                "samples": window.total,
+                "hit_rate": (window.hits / window.total
+                             if window.total else 1.0),
+                "fast_burn": self._burn(
+                    window, now, self.policy.fast_window_ms,
+                ),
+                "slow_burn": self._burn(
+                    window, now, self.policy.slow_window_ms,
+                ),
+                "state": window.state,
+                "transitions": window.transitions,
+            }
+        return out
+
+    def export(self, registry, now_ms: float | None = None) -> None:
+        """Mirror the current SLO status into a
+        :class:`~repro.observability.metrics.MetricsRegistry` (gauges
+        keyed by tenant; the transition counter carries the ladder)."""
+        for tenant, status in self.snapshot(now_ms).items():
+            registry.set_gauge("slo.objective", status["objective"],
+                               tenant=tenant)
+            registry.set_gauge("slo.hit_rate", status["hit_rate"],
+                               tenant=tenant)
+            registry.set_gauge("slo.burn_rate", status["fast_burn"],
+                               tenant=tenant, window="fast")
+            registry.set_gauge("slo.burn_rate", status["slow_burn"],
+                               tenant=tenant, window="slow")
+            registry.set_gauge(
+                "slo.state", float(SLO_STATES.index(status["state"])),
+                tenant=tenant,
+            )
+            registry.set_gauge(
+                "slo.transitions", float(status["transitions"]),
+                tenant=tenant,
+            )
+
+
+def render_slo_report(monitor: SLOMonitor, now_ms: float | None = None) -> str:
+    """The ``python -m repro.observability slo`` table."""
+    from repro.utils.tables import render_table
+
+    rows = []
+    for tenant, status in monitor.snapshot(now_ms).items():
+        rows.append([
+            tenant,
+            f"{status['objective'] * 100:.1f}%",
+            str(status["samples"]),
+            f"{status['hit_rate'] * 100:.1f}%",
+            f"{status['fast_burn']:.2f}",
+            f"{status['slow_burn']:.2f}",
+            status["state"],
+            str(status["transitions"]),
+        ])
+    table = render_table(
+        ["tenant", "objective", "samples", "hit rate",
+         "fast burn", "slow burn", "state", "transitions"],
+        rows,
+    )
+    alerts = [
+        f"  {a.t_ms:9.3f} ms  {a.tenant:<12} {a.previous} -> {a.state} "
+        f"(fast {a.fast_burn:.2f}, slow {a.slow_burn:.2f})"
+        for a in monitor.alerts
+    ]
+    lines = ["Per-tenant SLO burn rates", "", table]
+    if alerts:
+        lines += ["", "Alert transitions:", *alerts]
+    return "\n".join(lines)
+
+
+def run_slo_demo(seed: int = 0):
+    """A seeded serving workload that exercises the SLO ladder.
+
+    Three tenants with declared objectives: an interactive tenant with
+    tight (sometimes impossible) deadlines, a best-effort batch tenant,
+    and an analytics tenant with generous deadlines.  Returns the
+    served :class:`~repro.serving.service.TraversalService` (its
+    ``slo`` attribute is the monitor to report on).
+    """
+    import numpy as np
+
+    from repro.graph.generators import erdos_renyi
+    from repro.serving.admission import TenantQuota
+    from repro.serving.requests import VisitRequest
+    from repro.serving.service import TraversalService
+
+    csr = erdos_renyi(240, 1400, seed=seed)
+    monitor = SLOMonitor(
+        SLOPolicy(),
+        objectives={"interactive": 0.95, "analytics": 0.8, "batch": 0.5},
+    )
+    service = TraversalService(
+        csr, pool_size=2, telemetry=True, health=True, slo=monitor,
+        default_quota=TenantQuota(max_pending=16),
+    )
+    rng = np.random.default_rng([0x510, seed])
+    problems = ("bfs", "cc")
+    batch: list[VisitRequest] = []
+    for i in range(120):
+        tenant = ("interactive", "batch", "analytics")[i % 3]
+        deadline = None
+        if tenant == "interactive":
+            # Alternate between generous and deliberately tight
+            # deadlines so the miss stream actually burns budget.
+            deadline = 0.08 if i % 6 else 8.0
+        elif tenant == "analytics":
+            deadline = 30.0
+        batch.append(VisitRequest(
+            problem=problems[i % 2],
+            source=int(rng.integers(csr.num_vertices)),
+            tenant=tenant,
+            deadline_ms=deadline,
+            arrival_ms=0.25 * i,
+        ))
+    # Serve in arrival-ordered slices (a closed queue, not one giant
+    # batch) so the sample stream reaching the monitor is causal.
+    for lo in range(0, len(batch), 12):
+        service.serve(batch[lo:lo + 12])
+    return service

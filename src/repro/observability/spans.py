@@ -31,9 +31,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-#: Well-known span categories, in their exporter track order.
+#: Well-known span categories, in their exporter track order.  The
+#: serving plane owns the last three: ``service`` carries request /
+#: queue / dispatch / wave spans, ``alerts`` carries first-class
+#: breaker, brownout and SLO-burn transitions, and ``hedge`` is the
+#: spare-replica track — hedge-leg spans land there so they can never
+#: overlap the primary lane's rows in Perfetto.
 CATEGORIES = (
     "engine", "compute", "transfer", "migration", "resilience", "service",
+    "alerts", "hedge",
 )
 
 
@@ -176,6 +182,52 @@ class Tracer:
         if end_abs > self.max_end_ms:
             self.max_end_ms = end_abs
         return rec
+
+    def graft(
+        self,
+        records: "list[SpanRecord]",
+        *,
+        base_ms: float = 0.0,
+        parent: int | None = None,
+        category: str | None = None,
+        **extra_attrs,
+    ) -> list[SpanRecord]:
+        """Splice another tracer's finished records onto this timeline.
+
+        This is how the serving frontend stitches a request-local trace
+        (engine kernels, resilience attempts, a hedge leg) under its own
+        ``request`` span: the sub-trace runs on a fresh tracer whose
+        clock starts at zero, and grafting re-bases every timestamp by
+        ``base_ms`` (the dispatch instant on the service clock),
+        re-numbers span ids into this tracer's space, and re-parents the
+        sub-trace's roots onto ``parent``.  ``category`` forces every
+        grafted span onto one track (the hedge leg uses ``"hedge"`` so
+        spare-replica spans can never overlap the primary's rows);
+        ``extra_attrs`` are merged into every grafted span (lane tags).
+        Purely additive: nothing else on this tracer moves.
+        """
+        id_map = {rec.sid: self._next_sid + i
+                  for i, rec in enumerate(records)}
+        self._next_sid += len(records)
+        out = []
+        for rec in records:
+            attrs = dict(rec.attrs)
+            attrs.update(extra_attrs)
+            new = SpanRecord(
+                sid=id_map[rec.sid],
+                parent=(parent if rec.parent is None
+                        else id_map.get(rec.parent, parent)),
+                name=rec.name,
+                category=category if category is not None else rec.category,
+                start_ms=base_ms + rec.start_ms,
+                end_ms=base_ms + rec.end_ms,
+                attrs=attrs,
+            )
+            self.records.append(new)
+            if new.end_ms > self.max_end_ms:
+                self.max_end_ms = new.end_ms
+            out.append(new)
+        return out
 
     def unwind(self, t_ms: float, **attrs) -> None:
         """Close every still-open span at local time ``t_ms`` (error

@@ -110,6 +110,82 @@ def flame_summary(trace: Trace, max_depth: int = 4,
     )
 
 
+#: Attrs hidden from the request-tree rendering (redundant per line).
+_QUIET_ATTRS = frozenset({"request_id"})
+
+
+def _span_line(rec: SpanRecord, depth: int) -> str:
+    attrs = ", ".join(
+        f"{k}={rec.attrs[k]}" for k in sorted(rec.attrs)
+        if k not in _QUIET_ATTRS
+    )
+    line = (
+        f"{'  ' * depth}{rec.name} [{rec.category}]  "
+        f"{_fmt_ms(rec.start_ms)}..{_fmt_ms(rec.end_ms)} ms  "
+        f"(+{_fmt_ms(rec.duration_ms)})"
+    )
+    if attrs:
+        line += f"  {{{attrs}}}"
+    return line
+
+
+def request_ids(trace: Trace) -> list[str]:
+    """Every ``request_id`` with a ``request`` span in this trace."""
+    return sorted({
+        r.attrs["request_id"]
+        for r in trace.records
+        if r.name == "request" and "request_id" in r.attrs
+    })
+
+
+def render_request(
+    trace: Trace, request_id: str,
+    max_depth: int = 8, max_children: int = 16,
+) -> str:
+    """One request's causally-ordered span tree (``summarize
+    --request <id>``): queue wait, dispatch, grafted engine/resilience
+    attempts, hedge legs — and, for wave-coalesced requests, the shared
+    ``wave`` traversal their ``wave_sid`` attr points at.
+    """
+    roots = [
+        r for r in trace.records
+        if r.name == "request" and r.attrs.get("request_id") == request_id
+    ]
+    if not roots:
+        known = request_ids(trace)
+        head = ", ".join(known[:8]) + (" ..." if len(known) > 8 else "")
+        return (
+            f"no request span with request_id={request_id!r}"
+            + (f" (known: {head})" if known else " (trace has none)")
+        )
+    lines: list[str] = []
+
+    def walk(rec: SpanRecord, depth: int) -> None:
+        lines.append(_span_line(rec, depth))
+        if depth + 1 >= max_depth:
+            return
+        children = trace.children_of(rec.sid)
+        for child in children[:max_children]:
+            walk(child, depth + 1)
+        if len(children) > max_children:
+            lines.append(
+                f"{'  ' * (depth + 1)}... "
+                f"{len(children) - max_children} more"
+            )
+
+    for root in roots:
+        walk(root, 0)
+        wave_sid = root.attrs.get("wave_sid")
+        if wave_sid is not None:
+            wave = next(
+                (r for r in trace.records if r.sid == wave_sid), None,
+            )
+            if wave is not None:
+                lines.append("shared wave traversal (via wave_sid):")
+                walk(wave, 1)
+    return f"request {request_id}:\n" + "\n".join(lines)
+
+
 def render_summary(trace: Trace, top: int = 10) -> str:
     """The full per-query summary the CLI prints."""
     meta = ", ".join(f"{k}={trace.meta[k]}" for k in sorted(trace.meta))

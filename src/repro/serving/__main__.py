@@ -83,13 +83,37 @@ def _identity(argv: list[str]) -> int:
         help="run the health-plane on/off identity gate instead "
         "(bare and resilient lanes)",
     )
+    parser.add_argument(
+        "--trace", action="store_true",
+        help="run the observability on/off identity gate instead: "
+        "request tracing, SLO monitors and the flight recorder all "
+        "enabled must leave labels and simulated clocks bit-identical",
+    )
     args = parser.parse_args(argv)
 
     from repro.serving.identity import check_health_identity, \
-        check_service_identity
+        check_service_identity, check_trace_identity
 
     csr, _ = datasets.load(args.graph)
     failed = False
+    if args.trace:
+        sizes = (args.pool_size,) if args.pool_size else (2,)
+        for size in sizes:
+            for resilient in (False, True):
+                lanes = "resilient" if resilient else "bare"
+                mismatches = check_trace_identity(
+                    csr, pool_size=size, resilient=resilient,
+                )
+                if mismatches:
+                    failed = True
+                    print(f"pool_size={size} ({lanes} lanes): "
+                          "observability is NOT observational:")
+                    for line in mismatches:
+                        print(f"  {line}")
+                else:
+                    print(f"pool_size={size} ({lanes} lanes): telemetry "
+                          "on == telemetry off (bit-identical)")
+        return 1 if failed else 0
     if args.health:
         sizes = (args.pool_size,) if args.pool_size else (2,)
         for size in sizes:
@@ -135,13 +159,20 @@ def _chaos(argv: list[str]) -> int:
                         help="stop after this wall-time budget instead")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--max-vertices", type=int, default=40)
+    parser.add_argument(
+        "--postmortem-dir", default=None,
+        help="attach a flight recorder to every run, dump postmortem "
+        "bundles here, and enforce the explainability contract "
+        "(failing plans must leave validating bundles)",
+    )
     args = parser.parse_args(argv)
 
     from repro.serving.chaos import run_heal_chaos
 
     report = run_heal_chaos(
         runs=args.runs, max_seconds=args.seconds, seed=args.seed,
-        max_vertices=args.max_vertices, log=print,
+        max_vertices=args.max_vertices,
+        postmortem_dir=args.postmortem_dir, log=print,
     )
     print(report.summary())
     if not report.ok:
@@ -149,6 +180,9 @@ def _chaos(argv: list[str]) -> int:
     if report.recoveries == 0:
         print("FAIL: no run demonstrated an open -> half-open -> closed "
               "recovery")
+        return 1
+    if args.postmortem_dir is not None and report.postmortems == 0:
+        print("FAIL: no run produced a postmortem bundle")
         return 1
     return 0
 

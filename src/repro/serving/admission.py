@@ -78,6 +78,12 @@ class AdmittedRequest:
     arrival_ms: float = field(compare=False, default=0.0)
     #: Resolved per-request iteration cap (request's, else quota's).
     iteration_budget: int | None = field(compare=False, default=None)
+    #: Trace context: the request's stable identity, assigned at
+    #: admission and threaded through every span, response and
+    #: flight-recorder entry the request touches.  A pure function of
+    #: the admission order (``req-<seq>``), so replaying a request log
+    #: replays the ids.
+    request_id: str = field(compare=False, default="")
 
     @property
     def tenant(self) -> str:
@@ -159,6 +165,7 @@ class AdmissionQueue:
             request=request,
             arrival_ms=arrival,
             iteration_budget=budget,
+            request_id=f"req-{self._next_seq:05d}",
         )
         self._next_seq += 1
         self._pending[request.tenant] = waiting + 1

@@ -21,10 +21,16 @@ and asserts the serving contract under sustained faults:
 * **Recovery** — across the battery, at least one lane must complete
   the full open → half-open → closed arc (the CLI gate fails on zero
   recoveries).
+* **Explainability** (with ``postmortem_dir``) — every failing plan
+  (typed error responses or breaker opens) must leave at least one
+  :class:`~repro.observability.recorder.FlightRecorder` postmortem
+  bundle naming its trigger, and every bundle's Chrome-trace slice must
+  pass :func:`~repro.observability.export.validate_chrome_trace`.
 
 Everything derives from one sweep seed; a failing run prints the
 coordinates to replay it.  ``python -m repro.serving chaos`` runs this,
-and the ``heal-smoke`` CI job gates on it.
+and the ``heal-smoke`` CI job gates on it (``obs-serve-smoke`` adds
+``--postmortem-dir``).
 """
 
 from __future__ import annotations
@@ -78,6 +84,9 @@ class HealReport:
     hedge_wins: int = 0
     brownouts: int = 0
     faults_fired: int = 0
+    #: Postmortem bundles dumped by per-run flight recorders (only
+    #: counted when the battery runs with ``postmortem_dir``).
+    postmortems: int = 0
     elapsed_s: float = 0.0
     #: Contract violations, with the run coordinates to replay them.
     failures: list = field(default_factory=list)
@@ -102,6 +111,8 @@ class HealReport:
             f"brownout transitions: {self.brownouts}; "
             f"faults fired: {self.faults_fired}"
         )
+        if self.postmortems:
+            head += f"\n  postmortem bundles: {self.postmortems}"
         if self.ok:
             return (
                 f"{head}\nself-healing contract holds: every request was "
@@ -220,16 +231,64 @@ def _check_response(response, graph, problem, report, coords) -> None:
     report.served_ok += 1
 
 
+def _check_postmortems(
+    recorder, run_errors: int, opens: int, report, coords,
+) -> None:
+    """Assert the explainability contract for one run: a failing plan
+    leaves at least one bundle, every bundle names its trigger, and
+    every written Chrome-trace slice validates."""
+    import json
+    from pathlib import Path
+
+    from repro.observability.export import validate_chrome_trace
+
+    if (run_errors or opens) and not recorder.dumps:
+        report.failures.append(
+            f"{coords}: failing plan ({run_errors} error responses, "
+            f"{opens} breaker opens) left no postmortem bundle"
+        )
+        return
+    for manifest in recorder.dumps:
+        trigger = manifest.get("trigger", "")
+        if not trigger or ":" not in trigger:
+            report.failures.append(
+                f"{coords}: postmortem {manifest.get('stem')} does not "
+                f"name its trigger: {trigger!r}"
+            )
+            continue
+        if recorder.out_dir is None:
+            continue
+        out = Path(recorder.out_dir)
+        for name in manifest["files"]:
+            if not name.endswith(".trace.json"):
+                continue
+            with open(out / name, encoding="utf-8") as fh:
+                problems = validate_chrome_trace(json.load(fh))
+            if problems:
+                report.failures.append(
+                    f"{coords}: postmortem {name} fails trace "
+                    f"validation: {problems[0]}"
+                )
+    report.postmortems += len(recorder.dumps)
+
+
 def run_heal_chaos(
     *,
     runs: int | None = None,
     max_seconds: float | None = None,
     seed: int = 0,
     max_vertices: int = 40,
+    postmortem_dir=None,
     log=None,
 ) -> HealReport:
     """Sweep seeded sustained-fault serving runs until the run or time
-    budget runs out; returns the :class:`HealReport`."""
+    budget runs out; returns the :class:`HealReport`.
+
+    With ``postmortem_dir`` each run gets its own
+    :class:`~repro.observability.recorder.FlightRecorder` dumping into
+    ``<postmortem_dir>/runNNN/``, and the battery additionally enforces
+    the explainability contract (see module docstring).
+    """
     from repro.testing.fuzz import random_graph
 
     if runs is None and max_seconds is None:
@@ -277,14 +336,25 @@ def run_heal_chaos(
         )
         report.runs += 1
 
+        recorder = None
+        if postmortem_dir is not None:
+            from pathlib import Path
+
+            from repro.observability.recorder import FlightRecorder
+
+            recorder = FlightRecorder(
+                out_dir=Path(postmortem_dir) / f"run{case:03d}",
+            )
         with TraversalService(
             graph, pool_size=pool_size, fault_plans=fault_plans,
             policy=policy, health=health, wave_width=wave_width,
             default_quota=TenantQuota(max_pending=256),
+            recorder=recorder,
         ) as service:
             plane = service.health
             violation = False
             answered = 0
+            run_errors = 0
             for batch in range(int(rng.integers(3, 6))):
                 n = int(rng.integers(10, 26))
                 requests = _random_requests(rng, graph, problem, n)
@@ -329,6 +399,9 @@ def run_heal_chaos(
                     violation = True
                     break
                 for response in responses:
+                    if not response.ok and not response.shed \
+                            and response.seq >= 0:
+                        run_errors += 1
                     _check_response(
                         response, graph, problem, report, coords,
                     )
@@ -387,6 +460,11 @@ def run_heal_chaos(
                     injector = getattr(worker.session, "injector", None)
                     if injector is not None:
                         report.faults_fired += len(injector.fired)
+                if recorder is not None:
+                    _check_postmortems(
+                        recorder, run_errors, len(open_events),
+                        report, coords,
+                    )
 
         case += 1
         if log is not None and case % 25 == 0:

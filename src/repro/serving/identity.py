@@ -170,3 +170,80 @@ def check_health_identity(
                 f"health-off {facts_off} != health-on {facts_on}"
             )
     return mismatches
+
+
+def check_trace_identity(
+    csr: CSRGraph,
+    queries: tuple[tuple[str, int], ...] = DEFAULT_QUERIES,
+    config: EtaGraphConfig | None = None,
+    device: DeviceSpec = GTX_1080TI,
+    *,
+    pool_size: int = 2,
+    resilient: bool = False,
+) -> list[str]:
+    """Serve the same batch with the full observability stack off and
+    on — request-scoped tracing, SLO burn-rate monitors and the flight
+    recorder all enabled on the on-leg — and describe every
+    response-fact divergence (empty = telemetry is purely
+    observational: same labels, same simulated clocks, same schedule).
+
+    Also asserts the on-leg actually *observed* the run: every admitted
+    request must have a ``request`` span carrying its ``request_id``,
+    and the SLO monitor must have one sample per terminal response —
+    a gate that silently records nothing would be vacuous.
+    """
+    from repro.observability.slo import SLOMonitor, SLOPolicy
+
+    config = config or EtaGraphConfig()
+    requests = [
+        VisitRequest(problem=problem, source=source, tenant="gate",
+                     deadline_ms=50.0)
+        for problem, source in queries
+    ]
+    runs = {}
+    for telemetry in (False, True):
+        kwargs = {}
+        if telemetry:
+            kwargs = {
+                "telemetry": True,
+                "slo": SLOMonitor(SLOPolicy(objective=0.5)),
+                "recorder": True,
+            }
+        with TraversalService(
+            csr, config, device, pool_size=pool_size,
+            resilient=resilient, **kwargs,
+        ) as service:
+            runs[telemetry] = service.serve(list(requests))
+            if telemetry:
+                trace = service.trace()
+                ids = {
+                    r.attrs.get("request_id")
+                    for r in trace.spans("service", "request")
+                }
+                missing = [
+                    resp.request_id for resp in runs[True]
+                    if resp.request_id and resp.request_id not in ids
+                ]
+                if missing:
+                    return [
+                        f"request(s) {missing} produced no request span "
+                        "— trace propagation is broken"
+                    ]
+                samples = sum(
+                    s["samples"]
+                    for s in service.slo.snapshot().values()
+                )
+                if samples != len(runs[True]):
+                    return [
+                        f"SLO monitor saw {samples} samples for "
+                        f"{len(runs[True])} responses"
+                    ]
+    mismatches = []
+    for off, on in zip(runs[False], runs[True]):
+        facts_off, facts_on = _response_facts(off), _response_facts(on)
+        if facts_off != facts_on:
+            mismatches.append(
+                f"seq {off.seq} {off.request.describe()}: "
+                f"telemetry-off {facts_off} != telemetry-on {facts_on}"
+            )
+    return mismatches

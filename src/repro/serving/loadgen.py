@@ -9,10 +9,16 @@ the client population).
 
 The sweep runs the same deterministic workload at increasing client
 counts and reports, per tenant and per load point, the simulated
-latency percentiles (p50/p95/p99), the shed rate and a typed-error
-taxonomy.  Because every quantity is simulated and every choice is
-seeded, the whole report is reproducible bit-for-bit — the numbers in
-``BENCH_PR9.json`` are facts about the scheduler, not about the host.
+latency percentiles (p50/p95/p99), the shed rate, a typed-error
+taxonomy, the tenant's SLO burn rate against its declared
+deadline-hit-rate objective (see :mod:`repro.observability.slo`) and a
+*worst-request trace pointer* — the ``request_id`` of the slowest
+served request, renderable via ``python -m repro.observability
+summarize <trace> --request <id>`` on a traced rerun.  Because every
+quantity is simulated and every choice is seeded, the whole report is
+reproducible bit-for-bit — the numbers in ``BENCH_PR10.json`` are
+facts about the scheduler, not about the host — and CI gates it
+against ``benchmarks/baseline_pr10/``.
 
 The headline invariant (asserted by the chaos tests, visible here):
 **shed rate is monotone in offered load** — more clients can only shed
@@ -93,6 +99,15 @@ DEFAULT_MIX: tuple[TenantProfile, ...] = (
         quota=TenantQuota(max_pending=16, deadline_ms=6.0),
     ),
 )
+
+#: Declared deadline-hit-rate objectives per tenant, from which the
+#: bench's per-tenant burn rates are computed (burn 1.0 = exactly
+#: consuming the tenant's error budget).
+DEFAULT_OBJECTIVES: dict[str, float] = {
+    "interactive": 0.9,
+    "batch": 0.5,
+    "analytics": 0.8,
+}
 
 
 @dataclass(frozen=True)
@@ -184,7 +199,9 @@ def run_closed_loop(
     return responses
 
 
-def _tenant_stats(responses: list, tenant: str) -> dict:
+def _tenant_stats(
+    responses: list, tenant: str, *, monitor=None, now_ms: float = 0.0,
+) -> dict:
     mine = [r for r in responses if r.tenant == tenant]
     served = [r for r in mine if r.ok]
     shed = sum(1 for r in mine if r.shed)
@@ -211,6 +228,27 @@ def _tenant_stats(responses: list, tenant: str) -> dict:
             continue
         name = error.split(":", 1)[0]
         taxonomy[name] = taxonomy.get(name, 0) + 1
+    # Worst-request trace pointer: the request_id of the slowest served
+    # request — the handle `python -m repro.observability summarize
+    # <trace> --request <id>` renders on a traced rerun of the same
+    # seeded workload.
+    worst = max(
+        served,
+        key=lambda r: (r.latency_ms, getattr(r, "seq", 0)),
+        default=None,
+    )
+    # Burn rate against the tenant's declared deadline-hit-rate
+    # objective, read off the service's SLO monitor at sweep end (slow
+    # window — the paging-grade signal).
+    slo: dict = {"burn_rate": None, "slo_state": None, "objective": None}
+    if monitor is not None:
+        status = monitor.snapshot(now_ms).get(tenant)
+        if status is not None:
+            slo = {
+                "burn_rate": status["slow_burn"],
+                "slo_state": status["state"],
+                "objective": status["objective"],
+            }
     return {
         "requests": len(mine),
         "served": len(served),
@@ -225,6 +263,11 @@ def _tenant_stats(responses: list, tenant: str) -> dict:
         "p95_ms": p95,
         "p99_ms": p99,
         "degraded": sum(1 for r in mine if r.degraded),
+        "worst_request": (
+            None if worst is None else getattr(worst, "request_id", None)
+        ),
+        "worst_latency_ms": None if worst is None else worst.latency_ms,
+        **slo,
     }
 
 
@@ -340,8 +383,14 @@ def run_recovery_scenario(csr, *, pool_size: int = 2) -> dict:
         return {
             "opens": sum(lane.opens for lane in service.health.lanes),
             "closes": sum(lane.closes for lane in service.health.lanes),
-            "first_open_ms": opened,
-            "first_close_ms": closed,
+            # Absolute instants are wall-contaminated: the fail-fast
+            # window's CPU-fallback serves carry wall-clock durations
+            # (the one deliberate wall leak in the simulator), so only
+            # their *difference* — the quarantine arc, which contains no
+            # fallback — is deterministic.  The ``wall_`` prefix puts
+            # them under the loose regression-only compare regime.
+            "wall_first_open_ms": opened,
+            "wall_first_close_ms": closed,
             "recovery_ms": (
                 closed - opened
                 if opened is not None and closed is not None else None
@@ -383,17 +432,24 @@ def run_serve(
                 and wall_total >= settings.max_seconds:
             data.setdefault("skipped", []).append(clients)
             continue
+        from repro.observability.slo import SLOMonitor
+
         t0 = time.perf_counter()
+        monitor = SLOMonitor(objectives=dict(DEFAULT_OBJECTIVES))
         with TraversalService(
             csr, pool_size=settings.pool_size, quotas=quotas,
+            slo=monitor,
         ) as service:
             responses = run_closed_loop(service, settings, clients)
+            now_ms = service.clock_ms
         wall = time.perf_counter() - t0
         wall_total += wall
 
         point: dict = {}
         for profile in settings.mix:
-            stats = _tenant_stats(responses, profile.name)
+            stats = _tenant_stats(
+                responses, profile.name, monitor=monitor, now_ms=now_ms,
+            )
             point[profile.name] = stats
             rows.append([
                 clients, profile.name, stats["requests"],
@@ -402,6 +458,11 @@ def run_serve(
                     for k in ("p50_ms", "p95_ms", "p99_ms")
                 ),
                 f"{100 * stats['shed_rate']:.1f}%",
+                (
+                    "-" if stats["burn_rate"] is None
+                    else f"{stats['burn_rate']:.2f}"
+                ),
+                stats["worst_request"] or "-",
             ])
         total_shed = sum(point[p.name]["shed"] for p in settings.mix)
         total_requests = sum(
@@ -432,7 +493,7 @@ def run_serve(
 
     text = render_table(
         ["clients", "tenant", "requests", "p50 ms", "p95 ms", "p99 ms",
-         "shed"],
+         "shed", "burn", "worst req"],
         rows,
         title=(
             f"Closed-loop serve: {settings.graph}, "
@@ -475,8 +536,8 @@ def main(argv: list[str] | None = None) -> int:
         help="fewer clients/requests (CI-sized run)",
     )
     parser.add_argument(
-        "--out", default="BENCH_PR9.json",
-        help="write the report here (default BENCH_PR9.json; '-' skips)",
+        "--out", default="BENCH_PR10.json",
+        help="write the report here (default BENCH_PR10.json; '-' skips)",
     )
     parser.add_argument(
         "--json-dir", default=None,

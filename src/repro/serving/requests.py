@@ -201,6 +201,10 @@ class TraversalResponse:
     #: Admission sequence number (ties in EDF order break on this).
     seq: int
     ok: bool
+    #: Trace context assigned at admission (``""`` for requests refused
+    #: at the door, which never got one).  ``summarize --request <id>``
+    #: renders the span tree this id names.
+    request_id: str = ""
     #: Endpoint payload: labels (visit), ``{"vertices", "levels"}``
     #: (neighborhood), vertex list (shortest_path), ranks (pagerank),
     #: summary dict (stats).  ``None`` on error or shed.

@@ -29,12 +29,19 @@ clocks) to the same query stream on bare ``EngineSession`` objects —
 per lane, in dispatch order.  :mod:`repro.serving.identity` gates this.
 
 Telemetry: ``telemetry=True`` gives the service a
-:class:`~repro.observability.Tracer` recording one ``request`` span per
-dispatched request (tenant/endpoint/worker attrs) and a ``shed``
-instant per shed, all in the ``service`` category at absolute simulated
-times.  Per-tenant counters and latency histograms land in
-:attr:`TraversalService.metrics`, with cardinality bounded by the
-registry's ``max_series``.
+:class:`~repro.observability.Tracer` recording one *request-scoped span
+tree* per admitted request, keyed by the ``request_id`` assigned at
+admission: a ``request`` span (arrival → terminal answer) containing a
+``queue`` interval (EDF wait), a ``dispatch`` span (lane occupancy)
+with the engine/resilience sub-trace grafted underneath at the dispatch
+instant, and — when the self-healing plane hedged — a ``hedge`` span on
+the dedicated hedge track carrying the spare replica's sub-trace.
+Waves record one shared ``wave`` span; member ``request`` spans point
+at it via a ``wave_sid`` attr.  Breaker and brownout transitions land
+as first-class events on the ``alerts`` track.  ``summarize --request
+<id>`` renders the tree.  Per-tenant counters and latency histograms
+land in :attr:`TraversalService.metrics`, with cardinality bounded by
+the registry's ``max_series``.
 """
 
 from __future__ import annotations
@@ -98,6 +105,8 @@ class TraversalService:
         max_series: int = 64,
         wave_width: int = 0,
         health: HealthPolicy | bool | None = None,
+        slo=None,
+        recorder=None,
     ):
         self.csr = csr
         self.config = config or EtaGraphConfig()
@@ -150,6 +159,37 @@ class TraversalService:
                 else HealthPolicy()
             )
             self.health = HealthPlane(health_policy, self.pool)
+        #: Per-tenant SLO burn-rate monitor
+        #: (:mod:`repro.observability.slo`) — purely observational, fed
+        #: one sample per terminal response; ``None`` = off.  Accepts an
+        #: :class:`~repro.observability.slo.SLOMonitor` (carrying
+        #: declared per-tenant objectives), an
+        #: :class:`~repro.observability.slo.SLOPolicy`, or ``True`` for
+        #: the default policy.
+        self.slo = None
+        if slo:
+            from repro.observability.slo import SLOMonitor, SLOPolicy
+
+            if isinstance(slo, SLOMonitor):
+                self.slo = slo
+            elif isinstance(slo, SLOPolicy):
+                self.slo = SLOMonitor(slo)
+            else:
+                self.slo = SLOMonitor()
+        #: Incident flight recorder
+        #: (:mod:`repro.observability.recorder`) — a bounded ring of
+        #: recent serve outcomes and health events that dumps a
+        #: postmortem bundle on typed failures, breaker opens and
+        #: brownout escalations; ``None`` = off.
+        self.recorder = None
+        if recorder:
+            from repro.observability.recorder import FlightRecorder
+
+            self.recorder = (
+                recorder if isinstance(recorder, FlightRecorder)
+                else FlightRecorder()
+            )
+            self.recorder.attach(self)
         self._fault_plan = fault_plan
         #: Lazy dedicated hedge standby (see :meth:`_hedge_standby`) —
         #: never one of the pool's primary lanes.
@@ -271,7 +311,15 @@ class TraversalService:
             else:
                 batch_seqs.add(admitted.seq)
                 slots.append((admitted.seq, None))
-        drained = {r.seq: r for r in self.drain()}
+        try:
+            drained = {r.seq: r for r in self.drain()}
+        except ReproError as exc:
+            # A typed error escaping the dispatch loop is the hardest
+            # incident shape (e.g. hedge legs disagreeing on labels):
+            # leave a postmortem before re-raising.
+            if self.recorder is not None:
+                self.recorder.record_escape(exc, self.clock_ms)
+            raise
         out = [
             response if response is not None else drained[seq]
             for seq, response in slots
@@ -398,17 +446,31 @@ class TraversalService:
         lane_results: list = []
         service_ms = 0.0
         backoff_ms = 0.0
+        tr = self.tracer
+        wtr = None
+        if tr is not None:
+            from repro.observability.spans import Tracer
+
+            wtr = Tracer()
         try:
-            if worker.resilient:
-                outcome = worker.session.run_wave(sources)
-                wave = outcome.result
-                placement = outcome.final_placement
-                degraded = outcome.degraded
-                attempts = outcome.num_attempts
-                faults = list(outcome.faults_seen)
-                backoff_ms = outcome.backoff_ms
-            else:
-                wave = msbfs.run_wave(worker.session, sources)
+            session = worker.session
+            prev_tracer = session.tracer
+            if wtr is not None:
+                session.tracer = wtr
+            try:
+                if worker.resilient:
+                    outcome = worker.session.run_wave(sources)
+                    wave = outcome.result
+                    placement = outcome.final_placement
+                    degraded = outcome.degraded
+                    attempts = outcome.num_attempts
+                    faults = list(outcome.faults_seen)
+                    backoff_ms = outcome.backoff_ms
+                else:
+                    wave = msbfs.run_wave(worker.session, sources)
+            finally:
+                if wtr is not None:
+                    session.tracer = prev_tracer
             # Retry backoff is real lane time: requests queued behind a
             # flaky serve wait through its backoffs too.
             service_ms = wave.total_ms + wave.d2h_ms + backoff_ms
@@ -418,11 +480,27 @@ class TraversalService:
             # (same lane-release rule as _run — failed work spends no
             # simulated time later requests would queue behind).
             error = f"{type(exc).__name__}: {exc}"
+            if wtr is not None:
+                wtr.unwind(wtr.max_end_ms, error=True)
         finish = start + service_ms
+        # One shared wave span carries the traversal's sub-trace; each
+        # member request span points at it through its ``wave_sid``
+        # attr, so the per-request tree can pull in the shared work.
+        wave_sid = None
+        if tr is not None:
+            w_span = tr.start(
+                "wave", "service", start, worker=worker.index,
+                width=len(group),
+            )
+            if wtr.records:
+                tr.graft(wtr.records, base_ms=start, parent=w_span.sid,
+                         lane=worker.index)
+            wave_sid = tr.end(w_span, finish, ok=error is None).sid
         for lane, adm in enumerate(group):
             request = adm.request
             response = TraversalResponse(
                 request=request, seq=adm.seq, ok=error is None,
+                request_id=adm.request_id,
                 arrival_ms=adm.arrival_ms, start_ms=start,
                 worker=worker.index,
                 placement="" if error is not None else placement,
@@ -453,15 +531,26 @@ class TraversalService:
             )
             self.metrics.observe("service.queue_ms", response.queue_ms,
                                  tenant=request.tenant)
-            if self.tracer is not None:
-                self.tracer.emit(
-                    "request", "service", finish - start, t_ms=start,
-                    tenant=request.tenant, endpoint=request.endpoint,
-                    seq=adm.seq, worker=worker.index,
+            if tr is not None:
+                r_span = tr.start(
+                    "request", "service", adm.arrival_ms,
+                    request_id=adm.request_id, tenant=request.tenant,
+                    endpoint=request.endpoint, seq=adm.seq,
+                    wave=len(group), wave_lane=lane, wave_sid=wave_sid,
+                )
+                tr.emit("queue", "service", start - adm.arrival_ms,
+                        t_ms=adm.arrival_ms, request_id=adm.request_id)
+                tr.end(
+                    r_span, finish, worker=worker.index,
                     ok=response.ok, placement=response.placement,
                     queue_ms=response.queue_ms,
-                    wave=len(group), wave_lane=lane,
                 )
+            self._slo_record(
+                request.tenant, finish,
+                response.ok and finish <= adm.deadline_abs,
+            )
+            if self.recorder is not None:
+                self.recorder.observe_response(response)
             responses.append(response)
         worker.busy_until_ms = max(worker.busy_until_ms, finish)
         worker.served += len(group)
@@ -527,18 +616,35 @@ class TraversalService:
                          endpoint=adm.request.endpoint)
         if brownout:
             self.metrics.inc("service.brownout_sheds", tenant=adm.tenant)
-        if self.tracer is not None:
-            self.tracer.emit(
+        tr = self.tracer
+        if tr is not None:
+            # Even a shed request gets its request-scoped tree: the
+            # queue wait plus the shed instant that ended it.
+            r_span = tr.start(
+                "request", "service", adm.arrival_ms,
+                request_id=adm.request_id, tenant=adm.tenant,
+                endpoint=adm.request.endpoint, seq=adm.seq, shed=True,
+            )
+            tr.emit("queue", "service", at_ms - adm.arrival_ms,
+                    t_ms=adm.arrival_ms, request_id=adm.request_id)
+            tr.emit(
                 "shed", "service", 0.0, t_ms=at_ms,
                 tenant=adm.tenant, endpoint=adm.request.endpoint,
                 seq=adm.seq, worker=worker.index,
+                request_id=adm.request_id, brownout=brownout,
             )
-        return TraversalResponse(
+            tr.end(r_span, at_ms, ok=False, worker=worker.index)
+        response = TraversalResponse(
             request=adm.request, seq=adm.seq, ok=False,
+            request_id=adm.request_id,
             error=f"{type(error).__name__}: {error}", shed=True,
             arrival_ms=adm.arrival_ms, start_ms=at_ms, finish_ms=at_ms,
             worker=worker.index,
         )
+        self._slo_record(adm.tenant, at_ms, False)
+        if self.recorder is not None:
+            self.recorder.observe_response(response)
+        return response
 
     def _refused(
         self, request: TraversalRequest, exc: ReproError,
@@ -553,11 +659,15 @@ class TraversalService:
             self.metrics.inc("service.errors", tenant=request.tenant,
                              type=type(exc).__name__)
         now = self.clock_ms
-        return TraversalResponse(
+        response = TraversalResponse(
             request=request, seq=-1, ok=False,
             error=f"{type(exc).__name__}: {exc}", shed=shed,
             arrival_ms=now, start_ms=now, finish_ms=now,
         )
+        self._slo_record(request.tenant, now, False)
+        if self.recorder is not None:
+            self.recorder.observe_response(response)
+        return response
 
     def _run(
         self, adm: AdmittedRequest, worker: PoolWorker, start: float,
@@ -565,14 +675,36 @@ class TraversalService:
         request = adm.request
         response = TraversalResponse(
             request=request, seq=adm.seq, ok=True,
+            request_id=adm.request_id,
             arrival_ms=adm.arrival_ms, start_ms=start,
             worker=worker.index,
             placement=_MODE_RUNGS[self.config.memory_mode],
             attempts=1,
         )
+        tr = self.tracer
+        rtr = req_span = d_span = None
+        if tr is not None:
+            from repro.observability.spans import Tracer
+
+            # The request-scoped tree: request (arrival -> terminal
+            # answer) > queue wait + dispatch (lane occupancy).  The
+            # engine runs on a fresh per-request tracer whose clock
+            # starts at the dispatch instant's zero; its records are
+            # grafted under the dispatch span afterwards.
+            req_span = tr.start(
+                "request", "service", adm.arrival_ms,
+                request_id=adm.request_id, tenant=request.tenant,
+                endpoint=request.endpoint, seq=adm.seq,
+            )
+            tr.emit("queue", "service", start - adm.arrival_ms,
+                    t_ms=adm.arrival_ms, request_id=adm.request_id)
+            d_span = tr.start("dispatch", "service", start,
+                              request_id=adm.request_id,
+                              worker=worker.index)
+            rtr = Tracer()
         service_ms = 0.0
         try:
-            service_ms = self._execute(adm, worker, response)
+            service_ms = self._execute(adm, worker, response, tracer=rtr)
         except ReproError as exc:
             # A typed failure is a terminal answer: the lane is released
             # at its dispatch position (failed work spends no simulated
@@ -582,6 +714,8 @@ class TraversalService:
             response.placement = ""
             self.metrics.inc("service.errors", tenant=request.tenant,
                              type=type(exc).__name__)
+            if rtr is not None:
+                rtr.unwind(rtr.max_end_ms, error=True)
         finish = start + service_ms
         response.finish_ms = finish
         # The health plane only attributes outcomes that actually ran on
@@ -597,8 +731,11 @@ class TraversalService:
         primary_clean = not (
             primary_degraded or primary_attempts > 1 or primary_faults
         )
+        hedge_trace = None
         if observed and response.ok:
-            self._maybe_hedge(adm, worker, response, start, service_ms)
+            hedge_trace = self._maybe_hedge(
+                adm, worker, response, start, service_ms,
+            )
             if primary_clean:
                 self.health.record_latency(request.endpoint, service_ms)
         worker.busy_until_ms = max(worker.busy_until_ms, finish)
@@ -613,17 +750,45 @@ class TraversalService:
                              tenant=request.tenant)
         if response.degraded:
             self.metrics.inc("service.degraded", tenant=request.tenant)
-        if self.tracer is not None:
+        if tr is not None:
+            if rtr.records:
+                tr.graft(rtr.records, base_ms=start, parent=d_span.sid,
+                         lane=worker.index, request_id=adm.request_id)
+            tr.end(d_span, finish, ok=response.ok,
+                   placement=response.placement,
+                   attempts=response.attempts)
+            if hedge_trace is not None:
+                # The spare replica's leg lands on the dedicated hedge
+                # track (it ran on another lane concurrently with the
+                # primary — it must never share the primary's rows).
+                h_rec = tr.emit(
+                    "hedge", "hedge", hedge_trace["dur_ms"],
+                    t_ms=hedge_trace["start_ms"],
+                    request_id=adm.request_id, lane=hedge_trace["lane"],
+                    threshold_ms=hedge_trace["threshold_ms"],
+                    won=response.hedge_won,
+                )
+                tr.graft(
+                    hedge_trace["records"],
+                    base_ms=hedge_trace["start_ms"], parent=h_rec.sid,
+                    category="hedge", lane=hedge_trace["lane"],
+                    request_id=adm.request_id,
+                )
             attrs = {}
             if response.hedged:
                 attrs = {"hedged": True, "hedge_won": response.hedge_won}
-            self.tracer.emit(
-                "request", "service", finish - start, t_ms=start,
-                tenant=request.tenant, endpoint=request.endpoint,
-                seq=adm.seq, worker=worker.index,
-                ok=response.ok, placement=response.placement,
+            tr.end(
+                req_span, response.finish_ms,
+                worker=worker.index, ok=response.ok,
+                placement=response.placement,
                 queue_ms=response.queue_ms, **attrs,
             )
+        self._slo_record(
+            request.tenant, response.finish_ms,
+            response.ok and response.finish_ms <= adm.deadline_abs,
+        )
+        if self.recorder is not None:
+            self.recorder.observe_response(response)
         if observed:
             self._health_observe(
                 worker, ok=response.ok,
@@ -640,6 +805,21 @@ class TraversalService:
     # Self-healing plane hooks
     # ------------------------------------------------------------------
 
+    def _slo_record(self, tenant: str, t_ms: float, hit: bool) -> None:
+        """Feed one terminal outcome to the SLO monitor; any alert
+        transition becomes an ``alerts``-track event and a counter."""
+        if self.slo is None:
+            return
+        for alert in self.slo.record(tenant, t_ms, hit):
+            self.metrics.inc("slo.alerts", tenant=tenant, state=alert.state)
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "slo_alert", "alerts", 0.0, t_ms=alert.t_ms,
+                    tenant=tenant, state=alert.state,
+                    previous=alert.previous,
+                    fast_burn=alert.fast_burn, slow_burn=alert.slow_burn,
+                )
+
     def _health_observe(self, worker: PoolWorker, **outcome) -> list:
         """Feed one lane serve to the health plane; mirror the resulting
         score/level into metrics and any breaker transitions into the
@@ -654,11 +834,16 @@ class TraversalService:
         for event in events:
             self.metrics.inc("service.breaker_transitions", kind=event.kind)
             if self.tracer is not None:
+                # Breaker and brownout transitions are first-class
+                # alerts, on their own track — they annotate the whole
+                # service, not any one request's tree.
                 self.tracer.emit(
-                    event.kind, "service", 0.0, t_ms=event.t_ms,
+                    event.kind, "alerts", 0.0, t_ms=event.t_ms,
                     lane=-1 if event.lane is None else event.lane,
                     detail=event.detail,
                 )
+        if self.recorder is not None and events:
+            self.recorder.observe_events(events, worker.index)
         return events
 
     def _hedge_standby(self) -> PoolWorker:
@@ -671,7 +856,7 @@ class TraversalService:
     def _maybe_hedge(
         self, adm: AdmittedRequest, worker: PoolWorker,
         response: TraversalResponse, start: float, service_ms: float,
-    ) -> None:
+    ) -> dict | None:
         """Hedge a suspect straggler: when a serve from a non-pristine
         lane overshoots the endpoint's clean-latency p95, run the same
         query on the warm hedge standby and keep the earlier finish.
@@ -684,16 +869,21 @@ class TraversalService:
         ``result_digest``), lane and placement stay the primary's, which
         is what keeps the hedged run digest-identical to the unhedged
         one.
+
+        Returns the hedge leg's trace material (records on the leg's
+        own tracer, plus its window on the service clock) for the
+        caller to graft onto the ``hedge`` track, or ``None`` when no
+        hedge ran.
         """
         plane = self.health
         request = adm.request
         if not plane.hedging_active:
-            return
+            return None
         if not plane.suspect(worker, response):
-            return
+            return None
         threshold = plane.hedge_threshold(request.endpoint)
         if threshold is None or service_ms <= threshold:
-            return
+            return None
         standby = self._hedge_standby()
         plane.hedges += 1
         self.metrics.inc("service.hedges", tenant=request.tenant,
@@ -711,24 +901,31 @@ class TraversalService:
         # backed-up standby simply loses the race).
         hedge_start = max(standby.busy_until_ms, start + threshold)
         hedge.start_ms = hedge_start
+        htr = None
+        if self.tracer is not None:
+            from repro.observability.spans import Tracer
+
+            htr = Tracer()
         try:
             if isinstance(request, VisitRequest):
                 hedge_ms = self._run_visit(
                     standby, hedge, request.problem, request.source,
                     target=request.target,
                     iteration_budget=adm.iteration_budget,
+                    tracer=htr,
                 )
             else:
                 hedge_ms = self._run_visit(
                     standby, hedge, "bfs", request.source,
                     target=None, iteration_budget=adm.iteration_budget,
+                    tracer=htr,
                 )
         except ReproError:
             # A failed hedge leg never touches the request: the primary
             # already answered.  The standby is clean by construction
             # (no injector), so a failure here is request-shaped, not a
             # lane-health signal.
-            return
+            return None
         hedge_finish = hedge_start + hedge_ms
         standby.busy_until_ms = max(standby.busy_until_ms, hedge_finish)
         standby.served += 1
@@ -758,6 +955,15 @@ class TraversalService:
             # payload and result stay the primary's so the response is
             # digest-identical to a hedge-off run.
             response.finish_ms = hedge_finish
+        if htr is None:
+            return None
+        return {
+            "records": htr.records,
+            "start_ms": hedge_start,
+            "dur_ms": hedge_ms,
+            "lane": standby.index,
+            "threshold_ms": threshold,
+        }
 
     # ------------------------------------------------------------------
     # Endpoints
@@ -765,22 +971,29 @@ class TraversalService:
 
     def _execute(
         self, adm: AdmittedRequest, worker: PoolWorker,
-        response: TraversalResponse,
+        response: TraversalResponse, tracer=None,
     ) -> float:
         """Run one endpoint on ``worker``; fills the response payload and
-        returns the simulated service time (ms)."""
+        returns the simulated service time (ms).  ``tracer`` is the
+        request-local :class:`~repro.observability.Tracer` the engine
+        records into (``None`` with telemetry off)."""
         request = adm.request
         if isinstance(request, VisitRequest):
             return self._run_visit(
                 worker, response, request.problem, request.source,
                 target=request.target, iteration_budget=adm.iteration_budget,
+                tracer=tracer,
             )
         if isinstance(request, NeighborhoodRequest):
-            return self._run_neighborhood(worker, response, request, adm)
+            return self._run_neighborhood(
+                worker, response, request, adm, tracer=tracer,
+            )
         if isinstance(request, ShortestPathRequest):
-            return self._run_shortest_path(response, request, adm)
+            return self._run_shortest_path(
+                response, request, adm, tracer=tracer,
+            )
         if isinstance(request, PageRankRequest):
-            return self._run_pagerank(response, request, adm)
+            return self._run_pagerank(response, request, adm, tracer=tracer)
         if isinstance(request, StatsRequest):
             return self._run_stats(response)
         raise ConfigError(
@@ -790,57 +1003,70 @@ class TraversalService:
     def _run_visit(
         self, worker: PoolWorker, response: TraversalResponse,
         problem: str, source: int, *, target: int | None,
-        iteration_budget: int | None,
+        iteration_budget: int | None, tracer=None,
     ) -> float:
         """The traversal core shared by visit and neighborhood: one
         engine query on the worker's resident session, bit-identical to
-        the same query on a bare session."""
-        if worker.resilient:
-            policy = worker.session.policy
-            if iteration_budget is not None:
-                policy = replace(policy, max_iterations=iteration_budget)
-            outcome = worker.session.run(
-                problem, source, target=target, policy=policy,
-            )
-            result = outcome.result
-            response.placement = outcome.final_placement
-            response.degraded = outcome.degraded
-            response.attempts = outcome.num_attempts
-            response.faults_seen = list(outcome.faults_seen)
-            response.result = outcome.result
-            response.value = outcome.result.labels
-            # Retry backoff is real lane time: a flaky serve makes the
-            # requests queued behind it wait through its backoffs too.
-            return (outcome.result.total_ms + outcome.result.d2h_ms
-                    + outcome.backoff_ms)
-        else:
-            from repro.errors import ConvergenceError
-
-            try:
-                result = worker.session.query(
-                    problem, source, target=target,
-                    max_iterations=iteration_budget,
-                )
-            except ConvergenceError as exc:
+        the same query on a bare session.  ``tracer`` (when given) is
+        attached to the session for the duration of the query, so the
+        engine's spans land on the request-local timeline."""
+        session = worker.session
+        prev_tracer = session.tracer
+        if tracer is not None:
+            session.tracer = tracer
+        try:
+            if worker.resilient:
+                policy = worker.session.policy
                 if iteration_budget is not None:
-                    # Budget exhaustion is an SLO outcome, not an engine
-                    # defect — same mapping the resilient path applies.
-                    raise DeadlineExceededError(
-                        f"query exceeded its iteration budget of "
-                        f"{iteration_budget}"
-                    ) from exc
-                raise
+                    policy = replace(policy, max_iterations=iteration_budget)
+                outcome = worker.session.run(
+                    problem, source, target=target, policy=policy,
+                )
+                result = outcome.result
+                response.placement = outcome.final_placement
+                response.degraded = outcome.degraded
+                response.attempts = outcome.num_attempts
+                response.faults_seen = list(outcome.faults_seen)
+                response.result = outcome.result
+                response.value = outcome.result.labels
+                # Retry backoff is real lane time: a flaky serve makes
+                # the requests queued behind it wait through its
+                # backoffs too.
+                return (outcome.result.total_ms + outcome.result.d2h_ms
+                        + outcome.backoff_ms)
+            else:
+                from repro.errors import ConvergenceError
+
+                try:
+                    result = worker.session.query(
+                        problem, source, target=target,
+                        max_iterations=iteration_budget,
+                    )
+                except ConvergenceError as exc:
+                    if iteration_budget is not None:
+                        # Budget exhaustion is an SLO outcome, not an
+                        # engine defect — same mapping the resilient
+                        # path applies.
+                        raise DeadlineExceededError(
+                            f"query exceeded its iteration budget of "
+                            f"{iteration_budget}"
+                        ) from exc
+                    raise
+        finally:
+            if tracer is not None:
+                session.tracer = prev_tracer
         response.result = result
         response.value = result.labels
         return result.total_ms + result.d2h_ms
 
     def _run_neighborhood(
         self, worker: PoolWorker, response: TraversalResponse,
-        request: NeighborhoodRequest, adm: AdmittedRequest,
+        request: NeighborhoodRequest, adm: AdmittedRequest, tracer=None,
     ) -> float:
         service_ms = self._run_visit(
             worker, response, "bfs", request.source,
             target=None, iteration_budget=adm.iteration_budget,
+            tracer=tracer,
         )
         levels = response.result.labels
         within = np.flatnonzero(
@@ -854,7 +1080,7 @@ class TraversalService:
 
     def _run_shortest_path(
         self, response: TraversalResponse, request: ShortestPathRequest,
-        adm: AdmittedRequest,
+        adm: AdmittedRequest, tracer=None,
     ) -> float:
         from repro.algorithms.paths import reconstruct_path
 
@@ -872,6 +1098,7 @@ class TraversalService:
                 worker, response, "bfs", request.source,
                 target=request.target,
                 iteration_budget=adm.iteration_budget,
+                tracer=tracer,
             )
             worker.busy_until_ms = max(
                 worker.busy_until_ms, response.start_ms + service_ms,
@@ -895,7 +1122,7 @@ class TraversalService:
 
     def _run_pagerank(
         self, response: TraversalResponse, request: PageRankRequest,
-        adm: AdmittedRequest,
+        adm: AdmittedRequest, tracer=None,
     ) -> float:
         from repro.core.pagerank import delta_pagerank
 
@@ -913,6 +1140,14 @@ class TraversalService:
         )
         response.result = pr
         response.value = pr.ranks
+        if tracer is not None:
+            # PageRank runs outside the session pool, so no kernel-level
+            # sub-trace exists; a single engine span still gives the
+            # request tree its compute leaf.
+            tracer.emit(
+                "pagerank", "engine", pr.total_ms, t_ms=0.0,
+                damping=request.damping,
+            )
         return pr.total_ms
 
     def _run_stats(self, response: TraversalResponse) -> float:

@@ -372,14 +372,28 @@ class TestTelemetry:
                 VisitRequest(source=1, tenant="b", deadline_ms=0.05),
             ])
             trace = service.trace()
-        requests = trace.spans("service", "request")
+        spans = trace.spans("service", "request")
+        # Every admitted request gets a request span now — shed ones
+        # included (their tree is queue wait + the shed instant).
+        served = [r for r in spans if not r.attrs.get("shed")]
+        shed_reqs = [r for r in spans if r.attrs.get("shed")]
         sheds = trace.spans("service", "shed")
-        assert len(requests) == 1 and len(sheds) == 1
-        assert requests[0].attrs["tenant"] == "a"
-        assert requests[0].attrs["endpoint"] == "visit"
-        assert requests[0].duration_ms > 0
+        assert len(served) == 1 and len(shed_reqs) == 1 and len(sheds) == 1
+        assert served[0].attrs["tenant"] == "a"
+        assert served[0].attrs["endpoint"] == "visit"
+        assert served[0].attrs["request_id"] == "req-00000"
+        assert served[0].duration_ms > 0
         assert sheds[0].attrs["tenant"] == "b"
+        assert sheds[0].attrs["request_id"] == "req-00001"
         assert "service" in trace.categories()
+        # The request tree nests: queue + dispatch under the request
+        # span, engine sub-spans grafted under dispatch.
+        kids = trace.children_of(served[0].sid)
+        names = [r.name for r in kids]
+        assert "queue" in names and "dispatch" in names
+        dispatch = next(r for r in kids if r.name == "dispatch")
+        grafted = trace.children_of(dispatch.sid)
+        assert any(r.category == "engine" for r in grafted)
 
     def test_telemetry_off_by_default(self, tiny_graph):
         with TraversalService(tiny_graph) as service:
